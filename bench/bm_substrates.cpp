@@ -1,0 +1,127 @@
+// Microbenchmarks of the substrates the main pipeline stands on: the
+// Mattson stack-distance engine (O(N log N) Fenwick vs O(N * footprint)
+// naive), PCHIP construction + sampling, PAV projection, the set-assoc
+// simulator, JSON parse/dump, and the MCKP solvers. These bound how fast
+// instances can be profiled, generated and serialized.
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/mckp.hpp"
+#include "cachesim/set_assoc_cache.hpp"
+#include "cachesim/stack_distance.hpp"
+#include "io/instance_io.hpp"
+#include "sim/workload.hpp"
+#include "support/interpolate.hpp"
+#include "utility/generator.hpp"
+
+namespace {
+
+using namespace aa;
+
+cachesim::Trace bench_trace(std::size_t length) {
+  support::Rng rng(1);
+  return cachesim::generate_trace(
+      cachesim::TraceConfig::mixed(64, 512, 4096, length), rng);
+}
+
+void BM_StackDistanceFenwick(benchmark::State& state) {
+  const auto trace = bench_trace(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cachesim::compute_stack_distances(trace));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StackDistanceFenwick)->Range(1 << 12, 1 << 17);
+
+void BM_StackDistanceNaive(benchmark::State& state) {
+  const auto trace = bench_trace(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cachesim::compute_stack_distances_naive(trace));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StackDistanceNaive)->Range(1 << 12, 1 << 14);
+
+void BM_SetAssocSimulation(benchmark::State& state) {
+  const auto trace = bench_trace(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    cachesim::SetAssocCache cache({.num_sets = 64, .num_ways = 16}, 8);
+    benchmark::DoNotOptimize(cache.run(trace));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SetAssocSimulation)->Range(1 << 12, 1 << 17);
+
+void BM_GenerateUtility(benchmark::State& state) {
+  support::Rng rng(2);
+  support::DistributionParams dist;
+  dist.kind = support::DistributionKind::kPowerLaw;
+  const auto capacity = static_cast<util::Resource>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::generate_utility(capacity, dist, rng));
+  }
+}
+BENCHMARK(BM_GenerateUtility)->Range(256, 4096);
+
+void BM_PavProjection(benchmark::State& state) {
+  support::Rng rng(3);
+  std::vector<double> values(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : values) v = rng.uniform01();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(support::pav_nonincreasing(values));
+  }
+}
+BENCHMARK(BM_PavProjection)->Range(1 << 8, 1 << 14);
+
+void BM_JsonRoundTrip(benchmark::State& state) {
+  sim::WorkloadConfig config;
+  config.num_servers = 8;
+  config.capacity = static_cast<util::Resource>(state.range(0));
+  config.beta = 4.0;
+  support::Rng rng(4);
+  const core::Instance instance = sim::generate_instance(config, rng);
+  const std::string document = io::instance_to_json(instance).dump();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        io::instance_from_json(support::json_parse(document)));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(document.size()));
+}
+BENCHMARK(BM_JsonRoundTrip)->Range(64, 1024);
+
+void BM_MckpDp(benchmark::State& state) {
+  support::Rng rng(5);
+  support::DistributionParams dist;
+  dist.kind = support::DistributionKind::kUniform;
+  std::vector<alloc::MckpClass> classes;
+  for (int i = 0; i < 16; ++i) {
+    const auto utility = util::generate_utility(64, dist, rng);
+    classes.push_back(alloc::class_from_utility_uniform(*utility, 4));
+  }
+  const auto capacity = static_cast<util::Resource>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc::mckp_dp_exact(classes, capacity));
+  }
+}
+BENCHMARK(BM_MckpDp)->Range(64, 1024);
+
+void BM_MckpGreedy(benchmark::State& state) {
+  support::Rng rng(6);
+  support::DistributionParams dist;
+  dist.kind = support::DistributionKind::kUniform;
+  std::vector<alloc::MckpClass> classes;
+  for (int i = 0; i < 16; ++i) {
+    const auto utility = util::generate_utility(64, dist, rng);
+    classes.push_back(alloc::class_from_utility_uniform(*utility, 4));
+  }
+  const auto capacity = static_cast<util::Resource>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc::mckp_greedy(classes, capacity));
+  }
+}
+BENCHMARK(BM_MckpGreedy)->Range(64, 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Domain bench (paper Section I motivation): end-to-end multicore cache
+// partitioning. Synthetic threads with mixed locality are profiled through
+// the Mattson stack-distance engine; AA schedules them onto sockets and
+// partitions LLC ways; achieved throughput is measured on the RAW miss
+// curves (not the concave model).
+//
+// Expected: AA (Algorithm 2 refined) beats UU/RR placement on measured
+// aggregate IPC, and the concave model's predicted utility tracks the
+// measured value closely.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "aa/heuristics.hpp"
+#include "aa/refine.hpp"
+#include "cachesim/machine.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+std::size_t trials_from_env(std::size_t fallback) {
+  if (const char* env = std::getenv("AA_BENCH_TRIALS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace aa;
+  using namespace aa::cachesim;
+  const std::size_t trials = trials_from_env(20);
+
+  const Machine machine{.num_sockets = 2,
+                        .geometry = {.total_ways = 16, .lines_per_way = 64}};
+  const std::size_t lines = machine.geometry.lines_per_way;
+
+  support::Table table(
+      {"threads", "AA IPC", "UU IPC", "RR IPC", "AA/UU", "AA/RR",
+       "model/measured"});
+
+  for (const std::size_t num_threads : {4u, 8u, 12u}) {
+    double aa_sum = 0.0;
+    double uu_sum = 0.0;
+    double rr_sum = 0.0;
+    double model_sum = 0.0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      auto rng = support::Rng::child(4242, t * 100 + num_threads);
+      std::vector<ThreadProfile> profiles;
+      for (std::size_t i = 0; i < num_threads; ++i) {
+        // Rotate through archetypes with randomized footprints.
+        TraceConfig config;
+        switch (i % 4) {
+          case 0:
+            config = TraceConfig::cache_friendly(
+                (2 + rng.uniform_below(6)) * lines, 40000);
+            break;
+          case 1:
+            config = TraceConfig::mixed(
+                (1 + rng.uniform_below(3)) * lines,
+                (4 + rng.uniform_below(8)) * lines, 60 * lines, 40000);
+            break;
+          case 2:
+            config = TraceConfig::streaming(300 * lines, 40000);
+            break;
+          default:
+            config = TraceConfig::cache_friendly(
+                (8 + rng.uniform_below(10)) * lines, 40000);
+            break;
+        }
+        profiles.push_back(profile_trace(generate_trace(config, rng),
+                                         machine.geometry, PerfModel{}));
+      }
+      const core::Instance instance = build_instance(machine, profiles);
+      const core::SolveResult solved =
+          core::solve_algorithm2_refined(instance);
+      aa_sum += measure_throughput(profiles, solved.assignment);
+      model_sum += solved.utility;
+      uu_sum += measure_throughput(profiles, core::heuristic_uu(instance));
+      rr_sum +=
+          measure_throughput(profiles, core::heuristic_rr(instance, rng));
+    }
+    table.add_row_numeric({static_cast<double>(num_threads),
+                           aa_sum / static_cast<double>(trials),
+                           uu_sum / static_cast<double>(trials),
+                           rr_sum / static_cast<double>(trials),
+                           aa_sum / uu_sum, aa_sum / rr_sum,
+                           model_sum / aa_sum});
+  }
+
+  std::cout << "== Domain: multicore cache partitioning (2 sockets x 16 "
+               "ways, "
+            << trials << " trials) ==\n"
+            << "expect: AA/UU and AA/RR >= 1 (growing with contention);\n"
+            << "model/measured ~ 1 (concave projection gap only).\n\n"
+            << table.to_text() << std::flush;
+  return 0;
+}

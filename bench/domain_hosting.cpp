@@ -1,0 +1,108 @@
+// Domain bench (paper Section I): web hosting center end-to-end.
+//
+// Service threads with random concave service-rate curves (the paper's
+// power-law generator) are placed by AA — solved on SATURATED utilities
+// min(f_i(x), lambda_i), the correct goodput model — and by the UU/RR
+// heuristics. A discrete-event simulation with Poisson arrivals then
+// measures goodput and mean latency on the raw curves.
+//
+// Expected: AA ties UU at low load (everyone is overprovisioned) and
+// dominates both heuristics under overload; the saturated model's
+// predicted utility tracks simulated goodput to within queueing noise.
+// Note the latency trade-off: AA provisions services at exactly their
+// arrival rate (rho ~ 1), so at LOW load UU's overprovisioning gives
+// better latency — goodput, not latency, is the objective AA optimizes.
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "aa/heuristics.hpp"
+#include "aa/refine.hpp"
+#include "hostsim/simulator.hpp"
+#include "support/table.hpp"
+#include "utility/generator.hpp"
+
+namespace {
+
+std::size_t trials_from_env(std::size_t fallback) {
+  if (const char* env = std::getenv("AA_BENCH_TRIALS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace aa;
+  const std::size_t trials = trials_from_env(20);
+
+  support::Table table({"load", "AA goodput", "UU goodput", "RR goodput",
+                        "AA latency", "UU latency", "predicted/AA"});
+
+  for (const double load : {0.5, 1.0, 2.0}) {
+    double aa_good = 0.0;
+    double uu_good = 0.0;
+    double rr_good = 0.0;
+    support::RunningStats aa_lat;
+    support::RunningStats uu_lat;
+    double predicted = 0.0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      support::DistributionParams dist;
+      dist.kind = support::DistributionKind::kPowerLaw;
+      dist.alpha = 2.0;
+      auto rng = support::Rng::child(2718, t);
+
+      core::Instance raw;
+      raw.num_servers = 4;
+      raw.capacity = 200;
+      raw.threads = util::generate_utilities(24, 200, dist, rng);
+
+      // Arrival rates sized so that `load` = lambda_i / f_i(fair share).
+      hostsim::ServiceConfig config;
+      config.horizon = 1000.0;
+      config.warmup = 100.0;
+      config.seed = 1000 + t;
+      const double fair_share = 200.0 / 6.0;  // 24 threads on 4 servers.
+      for (const auto& thread : raw.threads) {
+        config.arrival_rates.push_back(load * thread->value(fair_share));
+      }
+
+      core::Instance saturated = raw;
+      for (std::size_t i = 0; i < raw.threads.size(); ++i) {
+        saturated.threads[i] = std::make_shared<util::SaturatedUtility>(
+            raw.threads[i], config.arrival_rates[i]);
+      }
+
+      const core::SolveResult solved =
+          core::solve_algorithm2_refined(saturated);
+      predicted += solved.utility;
+      const auto aa_run =
+          hostsim::simulate_hosting(raw, solved.assignment, config);
+      const auto uu_run =
+          hostsim::simulate_hosting(raw, core::heuristic_uu(raw), config);
+      const auto rr_run = hostsim::simulate_hosting(
+          raw, core::heuristic_rr(raw, rng), config);
+      aa_good += aa_run.goodput();
+      uu_good += uu_run.goodput();
+      rr_good += rr_run.goodput();
+      if (aa_run.sojourn_all.count() > 0) aa_lat.add(aa_run.sojourn_all.mean());
+      if (uu_run.sojourn_all.count() > 0) uu_lat.add(uu_run.sojourn_all.mean());
+    }
+    const auto scale = static_cast<double>(trials);
+    table.add_row_numeric({load, aa_good / scale, uu_good / scale,
+                           rr_good / scale, aa_lat.mean(), uu_lat.mean(),
+                           predicted / aa_good});
+  }
+
+  std::cout << "== Domain: hosting center DES (power law alpha=2, 4 servers "
+               "x 200 units, 24 services, "
+            << trials << " trials) ==\n"
+            << "expect: AA ~ UU goodput at load 0.5, AA dominant at load >= 1;\n"
+            << "predicted/AA ~ 1. (AA runs queues at rho~1, so its latency\n"
+            << "exceeds UU's at low load — goodput is the objective.)\n\n"
+            << table.to_text() << std::flush;
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Domain bench: phased co-run on the multi-socket machine — the cache
+// domain (Section I) driven through program phase changes with the online
+// policies (Section VIII). Throughput measured on RAW per-phase miss
+// curves.
+//
+// Expected: the headline is that cheap WITHIN-socket re-partitioning does
+// nearly all the work — sticky tracks the oracle at (almost) zero
+// migrations, while static pays a roughly constant ~15% tax (its epoch-0
+// way split is wrong whenever a thread is in its other phase; the
+// alternating schedule makes that fraction cadence-independent). Resolve
+// migrates increasingly often as phases shorten for no extra throughput.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "cachesim/phased.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+std::size_t trials_from_env(std::size_t fallback) {
+  if (const char* env = std::getenv("AA_BENCH_TRIALS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace aa;
+  using namespace aa::cachesim;
+  const std::size_t trials = trials_from_env(10);
+  const Machine machine{.num_sockets = 2,
+                        .geometry = {.total_ways = 16, .lines_per_way = 64}};
+  const std::size_t lines = machine.geometry.lines_per_way;
+
+  support::Table table({"phase len", "static/oracle", "sticky/oracle",
+                        "sticky migr/epoch", "resolve migr/epoch"});
+  for (const std::size_t phase_length : {16u, 8u, 4u, 2u}) {
+    double static_sum = 0.0;
+    double sticky_sum = 0.0;
+    double sticky_migr = 0.0;
+    double resolve_migr = 0.0;
+    const std::size_t epochs = 32;
+    for (std::size_t t = 0; t < trials; ++t) {
+      auto rng = support::Rng::child(909, t);
+      std::vector<PhasedThread> threads;
+      for (std::size_t i = 0; i < 8; ++i) {
+        PhasedThread thread;
+        thread.phase_length = phase_length;
+        thread.initial_phase = i % 2;
+        thread.phases.push_back(profile_trace(
+            generate_trace(TraceConfig::cache_friendly(
+                               (2 + rng.uniform_below(6)) * lines, 30000),
+                           rng),
+            machine.geometry, PerfModel{}));
+        thread.phases.push_back(profile_trace(
+            generate_trace(
+                TraceConfig::mixed(lines, 6 * lines, 80 * lines, 30000),
+                rng),
+            machine.geometry, PerfModel{}));
+        threads.push_back(std::move(thread));
+      }
+      const PhasedResult st = simulate_phased(
+          machine, threads, core::OnlinePolicy::kStatic, epochs);
+      const PhasedResult sk = simulate_phased(
+          machine, threads, core::OnlinePolicy::kSticky, epochs);
+      const PhasedResult rs = simulate_phased(
+          machine, threads, core::OnlinePolicy::kResolve, epochs);
+      static_sum += st.fraction();
+      sticky_sum += sk.fraction();
+      sticky_migr += static_cast<double>(sk.migrations) /
+                     static_cast<double>(epochs);
+      resolve_migr += static_cast<double>(rs.migrations) /
+                      static_cast<double>(epochs);
+    }
+    const auto scale = static_cast<double>(trials);
+    table.add_row_numeric({static_cast<double>(phase_length),
+                           static_sum / scale, sticky_sum / scale,
+                           sticky_migr / scale, resolve_migr / scale});
+  }
+
+  std::cout << "== Domain: phased co-run (2 sockets x 16 ways, 8 threads, "
+               "32 epochs, "
+            << trials << " trials) ==\n"
+            << "expect: sticky ~ 1.0 at ~0 migrations (free re-partitioning\n"
+            << "absorbs phase changes); static pays a flat ~15% tax;\n"
+            << "resolve migrates more as phases shorten, gaining nothing.\n\n"
+            << table.to_text() << std::flush;
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Extension bench (paper Section VIII future work): planning on measured
+// curves. Every thread's utility is re-estimated from noisy samples
+// (utility/fitting.hpp); AA plans on the fitted instance and is evaluated
+// on the TRUE one. Reports the realized fraction of the perfect-knowledge
+// plan across noise levels and measurement budgets.
+//
+// Expected: remarkably robust — >= ~0.99 realized even at 20% noise for
+// every budget (the assignment depends on coarse curve shape, not fine
+// values; per-server refinement on the fitted curves absorbs the rest).
+
+#include <cstdlib>
+#include <iostream>
+
+#include "aa/refine.hpp"
+#include "sim/workload.hpp"
+#include "support/table.hpp"
+#include "utility/fitting.hpp"
+
+namespace {
+
+std::size_t trials_from_env(std::size_t fallback) {
+  if (const char* env = std::getenv("AA_BENCH_TRIALS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace aa;
+  const std::size_t trials = trials_from_env(50);
+
+  struct Budget {
+    std::size_t levels;
+    std::size_t repeats;
+  };
+  const std::vector<Budget> budgets = {{4, 1}, {8, 3}, {16, 8}};
+  const std::vector<double> noises = {0.02, 0.05, 0.1, 0.2};
+
+  support::Table table({"noise", "4 lvl x1", "8 lvl x3", "16 lvl x8"});
+  for (const double noise : noises) {
+    std::vector<double> realized_fraction;
+    for (const Budget& budget : budgets) {
+      double realized_sum = 0.0;
+      double perfect_sum = 0.0;
+      for (std::size_t t = 0; t < trials; ++t) {
+        sim::WorkloadConfig config;
+        config.num_servers = 8;
+        config.capacity = 200;
+        config.beta = 4.0;
+        config.dist.kind = support::DistributionKind::kPowerLaw;
+        config.dist.alpha = 2.0;
+        auto rng = support::Rng::child(4242, t);
+        const core::Instance truth = sim::generate_instance(config, rng);
+
+        core::Instance fitted = truth;
+        const auto levels =
+            util::even_levels(config.capacity, budget.levels);
+        for (std::size_t i = 0; i < truth.threads.size(); ++i) {
+          const auto samples = util::measure_utility(
+              *truth.threads[i], levels, budget.repeats, noise, rng);
+          fitted.threads[i] =
+              util::fit_concave_utility(samples, config.capacity);
+        }
+
+        const core::SolveResult planned_fitted =
+            core::solve_algorithm2_refined(fitted);
+        realized_sum +=
+            core::total_utility(truth, planned_fitted.assignment);
+        perfect_sum += core::solve_algorithm2_refined(truth).utility;
+      }
+      realized_fraction.push_back(realized_sum / perfect_sum);
+    }
+    table.add_row_numeric({noise, realized_fraction[0], realized_fraction[1],
+                           realized_fraction[2]});
+  }
+
+  std::cout << "== Extension: planning on measured curves (power law "
+               "alpha=2, m=8, n=32, C=200, "
+            << trials << " trials) ==\n"
+            << "cells: realized true utility / perfect-knowledge plan.\n"
+            << "expect: >= ~0.99 for every cell — the assignment depends on\n"
+            << "coarse curve shape, so AA is robust to estimation error.\n\n"
+            << table.to_text() << std::flush;
+  return 0;
+}

@@ -1,0 +1,42 @@
+#pragma once
+
+// Shared scaffolding for the figure-reproduction benches: every binary
+// prints the figure id, the workload description, and the series table
+// (mean of Algorithm 2's utility over each competitor's, exactly the ratios
+// the paper plots), then a CSV block for downstream plotting.
+//
+// Trials default to the paper's 1000; set AA_BENCH_TRIALS to override
+// (tests and smoke runs use small values).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "sim/figures.hpp"
+
+namespace aa::bench {
+
+inline std::size_t trials_from_env(std::size_t default_trials = 1000) {
+  if (const char* env = std::getenv("AA_BENCH_TRIALS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return default_trials;
+}
+
+inline sim::SweepOptions paper_options() {
+  sim::SweepOptions options;  // m = 8, C = 1000, the paper's setting.
+  options.trials = trials_from_env();
+  return options;
+}
+
+inline void print_figure(const std::string& title,
+                         const std::string& expectation,
+                         const support::Table& table) {
+  std::cout << "== " << title << " ==\n"
+            << expectation << "\n\n"
+            << table.to_text() << "\ncsv:\n"
+            << table.to_csv() << std::flush;
+}
+
+}  // namespace aa::bench

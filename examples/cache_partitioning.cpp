@@ -1,0 +1,91 @@
+// Domain example (paper Section I): scheduling threads on a multi-socket
+// machine with way-partitioned shared LLCs.
+//
+//   $ ./cache_partitioning
+//
+// Pipeline: synthetic traces -> Mattson stack distances -> per-thread miss
+// curves -> concave throughput utilities -> AA instance (sockets = servers,
+// ways = resource) -> Algorithm 2 -> measured aggregate IPC on the RAW
+// curves, compared against naive placements.
+
+#include <iostream>
+
+#include "aa/heuristics.hpp"
+#include "aa/refine.hpp"
+#include "cachesim/machine.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace aa;
+  using namespace aa::cachesim;
+
+  const Machine machine{.num_sockets = 2,
+                        .geometry = {.total_ways = 16, .lines_per_way = 64}};
+  const std::size_t lines = machine.geometry.lines_per_way;
+  support::Rng rng(2016);
+
+  // Six threads with distinct locality personalities.
+  struct Spec {
+    const char* name;
+    TraceConfig config;
+  };
+  const std::vector<Spec> specs = {
+      {"hot-loop", TraceConfig::cache_friendly(2 * lines, 50000)},
+      {"medium-ws", TraceConfig::cache_friendly(6 * lines, 50000)},
+      {"big-ws", TraceConfig::cache_friendly(14 * lines, 50000)},
+      {"mixed", TraceConfig::mixed(lines, 5 * lines, 50 * lines, 50000)},
+      {"stream", TraceConfig::streaming(300 * lines, 50000)},
+      {"mixed-2", TraceConfig::mixed(2 * lines, 8 * lines, 80 * lines, 50000)},
+  };
+
+  std::vector<ThreadProfile> profiles;
+  std::cout << "profiling threads (Mattson stack distances):\n";
+  support::Table profile_table(
+      {"thread", "footprint(lines)", "missratio@4w", "missratio@16w",
+       "IPC@1w", "IPC@16w"});
+  for (const Spec& spec : specs) {
+    const Trace trace = generate_trace(spec.config, rng);
+    ThreadProfile profile =
+        profile_trace(trace, machine.geometry, PerfModel{});
+    profile_table.add_row(
+        {spec.name,
+         std::to_string(
+             compute_stack_distances(trace).footprint()),
+         support::format_double(profile.curve.miss_ratio(4), 3),
+         support::format_double(profile.curve.miss_ratio(16), 3),
+         support::format_double(profile.curve.throughput(1, profile.model),
+                                3),
+         support::format_double(profile.curve.throughput(16, profile.model),
+                                3)});
+    profiles.push_back(std::move(profile));
+  }
+  std::cout << profile_table.to_text() << "\n";
+
+  // Schedule with AA.
+  const core::Instance instance = build_instance(machine, profiles);
+  const core::SolveResult solved = core::solve_algorithm2_refined(instance);
+
+  support::Table placement({"thread", "socket", "ways"});
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    placement.add_row({specs[i].name,
+                       std::to_string(solved.assignment.server[i]),
+                       support::format_double(solved.assignment.alloc[i], 0)});
+  }
+  std::cout << "AA placement and way-partitions:\n"
+            << placement.to_text() << "\n";
+
+  const double aa_ipc = measure_throughput(profiles, solved.assignment);
+  const double uu_ipc =
+      measure_throughput(profiles, core::heuristic_uu(instance));
+  support::Rng heur_rng(7);
+  const double rr_ipc =
+      measure_throughput(profiles, core::heuristic_rr(instance, heur_rng));
+
+  std::cout << "measured aggregate IPC (raw miss curves):\n"
+            << "  AA (Algorithm 2 + refine): " << aa_ipc << "\n"
+            << "  UU (round robin / equal):  " << uu_ipc << "\n"
+            << "  RR (random / random):      " << rr_ipc << "\n"
+            << "  AA vs UU: " << aa_ipc / uu_ipc << "x,  AA vs RR: "
+            << aa_ipc / rr_ipc << "x\n";
+  return 0;
+}

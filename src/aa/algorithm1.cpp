@@ -1,0 +1,110 @@
+#include "aa/algorithm1.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "alloc/super_optimal.hpp"
+
+namespace aa::core {
+
+namespace {
+
+/// Computes F, G and packages a SolveResult for an assignment built on the
+/// given linearization. Shared with algorithm2.cpp via solve_pipeline.hpp?
+/// Kept local: each algorithm file is self-contained and tiny.
+SolveResult package(const Instance& instance, Assignment assignment,
+                    std::span<const util::Linearized> linearized,
+                    std::vector<Resource> c_hat, double f_hat) {
+  SolveResult result;
+  result.utility = total_utility(instance, assignment);
+  double g_total = 0.0;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    g_total += linearized[i].value(assignment.alloc[i]);
+  }
+  result.linearized_utility = g_total;
+  result.super_optimal_utility = f_hat;
+  result.c_hat = std::move(c_hat);
+  result.assignment = std::move(assignment);
+  return result;
+}
+
+}  // namespace
+
+Assignment assign_algorithm1(const Instance& instance,
+                             std::span<const util::Linearized> linearized) {
+  const std::size_t n = instance.num_threads();
+  const std::size_t m = instance.num_servers;
+  if (linearized.size() != n) {
+    throw std::invalid_argument("algorithm1: linearization size mismatch");
+  }
+
+  std::vector<Resource> remaining(m, instance.capacity);
+  std::vector<bool> assigned(n, false);
+  Assignment out;
+  out.server.assign(n, 0);
+  out.alloc.assign(n, 0.0);
+
+  for (std::size_t round = 0; round < n; ++round) {
+    // Server with the most remaining capacity (used both to test membership
+    // in U cheaply and as the "greatest utility" tie-break for full threads).
+    const auto max_it = std::max_element(remaining.begin(), remaining.end());
+    const auto max_server =
+        static_cast<std::size_t>(max_it - remaining.begin());
+    const Resource max_remaining = *max_it;
+
+    // Line 6: best full candidate — largest peak among threads whose
+    // super-optimal allocation still fits somewhere.
+    std::size_t best_full = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (assigned[i] || linearized[i].cap > max_remaining) continue;
+      if (best_full == n || linearized[i].peak > linearized[best_full].peak) {
+        best_full = i;
+      }
+    }
+
+    std::size_t chosen = n;
+    std::size_t target = max_server;
+    if (best_full != n) {
+      chosen = best_full;
+      // Any server with C_j >= c_hat gives the same (full) utility; the
+      // max-remaining server is one of them.
+    } else {
+      // Line 9: best unfull candidate — maximize g_i(C_j) over pairs.
+      double best_value = -1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (assigned[i]) continue;
+        for (std::size_t j = 0; j < m; ++j) {
+          const double value =
+              linearized[i].value(static_cast<double>(remaining[j]));
+          if (value > best_value) {
+            best_value = value;
+            chosen = i;
+            target = j;
+          }
+        }
+      }
+    }
+
+    const Resource granted = std::min(linearized[chosen].cap,
+                                      remaining[target]);
+    out.server[chosen] = target;
+    out.alloc[chosen] = static_cast<double>(granted);
+    remaining[target] -= granted;
+    assigned[chosen] = true;
+  }
+  return out;
+}
+
+SolveResult solve_algorithm1(const Instance& instance) {
+  instance.validate();
+  alloc::SuperOptimalResult so = alloc::super_optimal(
+      instance.threads, instance.num_servers, instance.capacity);
+  const std::vector<util::Linearized> linearized =
+      util::linearize(instance.threads, so.c_hat);
+  Assignment assignment = assign_algorithm1(instance, linearized);
+  return package(instance, std::move(assignment), linearized,
+                 std::move(so.c_hat), so.utility);
+}
+
+}  // namespace aa::core

@@ -1,0 +1,43 @@
+#pragma once
+
+// Algorithm 2 (paper Section VI): the faster O(n (log mC)^2)
+// alpha = 2(sqrt(2)-1)-approximation.
+//
+//   1. Sort threads in nonincreasing order of the linearized peak
+//      g_i(c_hat_i).
+//   2. Re-sort threads m+1..n of that order in nonincreasing order of the
+//      ramp density g_i(c_hat_i) / c_hat_i. (The paper's Section VI-A prose
+//      says "nondecreasing", contradicting its own pseudocode and Lemma
+//      V.10, which needs higher-density threads to receive more resource;
+//      since servers only lose capacity over time, higher density must be
+//      assigned earlier — nonincreasing. See DESIGN.md.)
+//   3. Keep server remaining capacities in a max-heap; give each thread in
+//      order min(c_hat_i, C_j) on the fullest server.
+
+#include <span>
+
+#include "aa/solve_result.hpp"
+
+namespace aa::core {
+
+/// Runs the full pipeline: super-optimal allocation (bisection), Equation-1
+/// linearization, then the sorted heap assignment.
+[[nodiscard]] SolveResult solve_algorithm2(const Instance& instance);
+
+/// Assignment phase only (precomputed linearization).
+[[nodiscard]] Assignment assign_algorithm2(
+    const Instance& instance, std::span<const util::Linearized> linearized);
+
+/// Ablation hook: the same assignment loop with configurable sorting, used
+/// by bench/ablation_design to quantify each design choice.
+struct Algorithm2Options {
+  bool sort_by_peak = true;      ///< Step 1 (off = keep input order).
+  bool resort_tail_by_density = true;  ///< Step 2.
+  bool density_nonincreasing = true;   ///< false reproduces the paper's typo.
+};
+
+[[nodiscard]] Assignment assign_algorithm2_with_options(
+    const Instance& instance, std::span<const util::Linearized> linearized,
+    const Algorithm2Options& options);
+
+}  // namespace aa::core

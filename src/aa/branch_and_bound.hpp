@@ -1,0 +1,48 @@
+#pragma once
+
+// Branch-and-bound exact AA solver.
+//
+// The exhaustive solver (aa/exact.hpp) tops out around n ~ 10-12. This
+// solver prunes the same canonical-partition tree with the paper's own
+// relaxation: at any partial placement, an upper bound on the completion is
+//
+//     sum of exact utilities of the servers closed so far
+//   + super-optimal utility (Definition V.1 / Lemma V.2) of the remaining
+//     threads over the remaining servers' pooled capacity,
+//
+// which is cheap (one pooled concave allocation per node) and tight enough
+// to reach n ~ 20-24 on typical workloads. Threads are branched in
+// nonincreasing peak order (big decisions first), and the incumbent is
+// seeded with Algorithm 2 + refinement + local search, so pruning starts
+// strong.
+//
+// This is an engineering extension (the paper only brute-forces nothing —
+// its evaluation uses the SO bound); it exists to extend the validated
+// range of the approximation-ratio experiments. bench/bm_exact compares
+// its reach against plain enumeration.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "aa/problem.hpp"
+
+namespace aa::core {
+
+struct BranchAndBoundOptions {
+  std::size_t max_threads = 24;      ///< Hard input-size guard.
+  std::uint64_t max_nodes = 50'000'000;  ///< Search-effort guard.
+};
+
+struct BranchAndBoundResult {
+  Assignment assignment;
+  double utility = 0.0;
+  std::uint64_t nodes_explored = 0;
+  bool proven_optimal = false;  ///< false only when max_nodes was hit.
+};
+
+/// Exact (up to the node budget) AA optimum. Throws std::invalid_argument
+/// when n exceeds options.max_threads.
+[[nodiscard]] BranchAndBoundResult solve_branch_and_bound(
+    const Instance& instance, const BranchAndBoundOptions& options = {});
+
+}  // namespace aa::core

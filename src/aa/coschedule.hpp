@@ -1,0 +1,48 @@
+#pragma once
+
+// Co-scheduling baseline (paper Section II, Jiang et al. [13] / Tian et
+// al. [14]): partition 2m threads into m PAIRS, one pair per server, so
+// that total utility is maximized. Pair values come from the exact
+// two-thread single-server allocator, so the only combinatorial choice is
+// the pairing itself.
+//
+// Jiang et al. showed optimal pair co-scheduling reduces to min-cost
+// perfect matching; here the same optimum is computed by a subset-pairing
+// DP, exact up to n ~ 22 threads (O(2^n * n) time, O(2^n) space), plus a
+// greedy matcher for larger inputs.
+//
+// The AA tie-in (bench/baseline_coschedule): co-scheduling FIXES the group
+// size at 2, while AA may co-locate three cheap threads to free a server
+// for an expensive one — quantifying the paper's argument that assignment
+// and allocation must be solved jointly and without artificial shape
+// constraints.
+
+#include <cstddef>
+
+#include "aa/problem.hpp"
+
+namespace aa::core {
+
+struct CoScheduleResult {
+  Assignment assignment;  ///< Pairs mapped to servers 0..m-1, allocations
+                          ///< from the exact 2-thread allocator.
+  double utility = 0.0;
+};
+
+/// Exact optimal pairing via subset DP. Requires n == 2 * num_servers and
+/// n <= max_threads (default 20); throws std::invalid_argument otherwise.
+[[nodiscard]] CoScheduleResult coschedule_exact_pairs(
+    const Instance& instance, std::size_t max_threads = 20);
+
+/// Greedy pairing: repeatedly joins the pair with the highest value among
+/// all unpaired threads. O(n^3) pair evaluations; same n == 2m contract,
+/// no size limit.
+[[nodiscard]] CoScheduleResult coschedule_greedy_pairs(
+    const Instance& instance);
+
+/// Value of running exactly threads {a, b} on one server (exact 2-thread
+/// allocation). Exposed for tests.
+[[nodiscard]] double pair_value(const Instance& instance, std::size_t a,
+                                std::size_t b);
+
+}  // namespace aa::core

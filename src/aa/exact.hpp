@@ -1,0 +1,29 @@
+#pragma once
+
+// Exact AA solver for small instances, used to validate the approximation
+// guarantee end-to-end (F >= alpha * F*, Theorems V.16 / VI.1).
+//
+// Enumerates set partitions of the threads into at most m groups with
+// first-use canonical numbering (servers are homogeneous, so permuting
+// nonempty groups is symmetric), then solves each server's allocation
+// exactly with the concave greedy allocator. Exponential — intended for
+// n <~ 10 in tests and benches only.
+
+#include <cstddef>
+
+#include "aa/problem.hpp"
+
+namespace aa::core {
+
+struct ExactResult {
+  Assignment assignment;
+  double utility = 0.0;
+  std::size_t partitions_explored = 0;
+};
+
+/// Throws std::invalid_argument when the search space is clearly infeasible
+/// (n > max_threads, default 12).
+[[nodiscard]] ExactResult solve_exact(const Instance& instance,
+                                      std::size_t max_threads = 12);
+
+}  // namespace aa::core

@@ -1,0 +1,75 @@
+#include "aa/hardness.hpp"
+
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace aa::core {
+
+namespace {
+
+std::int64_t checked_sum(std::span<const std::int64_t> values) {
+  std::int64_t sum = 0;
+  for (const std::int64_t v : values) {
+    if (v <= 0) {
+      throw std::invalid_argument("partition gadget: values must be positive");
+    }
+    sum += v;
+  }
+  return sum;
+}
+
+}  // namespace
+
+Instance partition_to_aa(std::span<const std::int64_t> values) {
+  const std::int64_t sum = checked_sum(values);
+  if (sum % 2 != 0) {
+    throw std::invalid_argument(
+        "partition gadget: odd sum (trivially unsolvable)");
+  }
+  Instance instance;
+  instance.num_servers = 2;
+  instance.capacity = sum / 2;
+  instance.threads.reserve(values.size());
+  for (const std::int64_t v : values) {
+    instance.threads.push_back(std::make_shared<util::CappedLinearUtility>(
+        /*slope=*/1.0, /*cap=*/static_cast<double>(v),
+        /*capacity=*/instance.capacity));
+  }
+  return instance;
+}
+
+double partition_target(std::span<const std::int64_t> values) {
+  return static_cast<double>(checked_sum(values));
+}
+
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>>
+extract_partition(const Assignment& assignment) {
+  std::pair<std::vector<std::size_t>, std::vector<std::size_t>> sets;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment.server[i] == 0) {
+      sets.first.push_back(i);
+    } else {
+      sets.second.push_back(i);
+    }
+  }
+  return sets;
+}
+
+bool partition_exists(std::span<const std::int64_t> values) {
+  const std::int64_t sum = checked_sum(values);
+  if (sum % 2 != 0) return false;
+  const auto half = static_cast<std::size_t>(sum / 2);
+  std::vector<char> reachable(half + 1, 0);
+  reachable[0] = 1;
+  for (const std::int64_t v : values) {
+    const auto step = static_cast<std::size_t>(v);
+    for (std::size_t s = half; s + 1 > step; --s) {
+      if (reachable[s - step]) reachable[s] |= 1;
+    }
+  }
+  return reachable[half] != 0;
+}
+
+}  // namespace aa::core

@@ -1,0 +1,34 @@
+#pragma once
+
+// The PARTITION -> AA reduction of Theorem IV.1 (paper Section IV), plus a
+// small exact PARTITION oracle used to verify the reduction in tests.
+//
+// Given numbers c_1..c_n, the gadget builds two servers with capacity
+// C = (sum c_i) / 2 and threads f_i(x) = min(x, c_i). The PARTITION instance
+// has a solution iff the AA instance's optimal utility equals sum c_i.
+
+#include <cstdint>
+#include <span>
+
+#include "aa/problem.hpp"
+
+namespace aa::core {
+
+/// Builds the reduction instance. Throws std::invalid_argument when the sum
+/// of values is odd (the reduction needs an integral half-sum; an odd sum is
+/// a trivial PARTITION "no" anyway) or any value is nonpositive.
+[[nodiscard]] Instance partition_to_aa(std::span<const std::int64_t> values);
+
+/// Target utility sum c_i: an assignment achieving it certifies a partition.
+[[nodiscard]] double partition_target(std::span<const std::int64_t> values);
+
+/// Extracts the two index sets from an AA assignment of the gadget; only
+/// meaningful when the assignment achieves partition_target().
+[[nodiscard]] std::pair<std::vector<std::size_t>, std::vector<std::size_t>>
+extract_partition(const Assignment& assignment);
+
+/// Reference subset-sum DP: does a subset of `values` sum to half the total?
+/// Pseudo-polynomial O(n * sum); test oracle only.
+[[nodiscard]] bool partition_exists(std::span<const std::int64_t> values);
+
+}  // namespace aa::core

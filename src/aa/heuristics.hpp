@@ -1,0 +1,30 @@
+#pragma once
+
+// The four baseline heuristics from the paper's evaluation (Section VII):
+//
+//   UU (uniform-uniform): round-robin assignment; each server splits its
+//       capacity equally among its threads.
+//   UR (uniform-random):  round-robin assignment; each server's capacity is
+//       split uniformly at random (simplex spacings) among its threads.
+//   RU (random-uniform):  uniformly random server per thread; equal split.
+//   RR (random-random):   random server; random split.
+//
+// Random splits use the full capacity C (utilities are nondecreasing, so
+// leaving resource idle is never better), sampled uniformly from the
+// simplex. Splits may be fractional; Assignment stores doubles for exactly
+// this reason.
+
+#include "aa/problem.hpp"
+#include "support/prng.hpp"
+
+namespace aa::core {
+
+[[nodiscard]] Assignment heuristic_uu(const Instance& instance);
+[[nodiscard]] Assignment heuristic_ur(const Instance& instance,
+                                      support::Rng& rng);
+[[nodiscard]] Assignment heuristic_ru(const Instance& instance,
+                                      support::Rng& rng);
+[[nodiscard]] Assignment heuristic_rr(const Instance& instance,
+                                      support::Rng& rng);
+
+}  // namespace aa::core

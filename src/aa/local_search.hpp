@@ -1,0 +1,47 @@
+#pragma once
+
+// Local-search post-processing on top of an AA assignment.
+//
+// Neither paper algorithm revisits a placement decision once made; a
+// standard practical add-on is hill climbing over the placement with exact
+// per-server re-allocation as the evaluation oracle:
+//
+//   * move:  relocate one thread to another server;
+//   * swap:  exchange the servers of two threads.
+//
+// Every accepted step strictly improves total utility, so termination is
+// guaranteed; each evaluation re-solves only the (at most two) touched
+// servers. Starting from Algorithm 2's assignment this typically closes
+// most of the remaining gap to the super-optimal bound (see
+// bench/ablation_local_search) at a cost the paper's algorithms avoid —
+// which is exactly the trade-off worth quantifying.
+
+#include <cstddef>
+
+#include "aa/problem.hpp"
+
+namespace aa::core {
+
+struct LocalSearchOptions {
+  std::size_t max_rounds = 16;   ///< Full improvement sweeps before stopping.
+  bool enable_moves = true;
+  bool enable_swaps = true;
+  double min_gain = 1e-9;        ///< Required absolute improvement per step.
+};
+
+struct LocalSearchResult {
+  Assignment assignment;
+  double utility = 0.0;
+  std::size_t moves_applied = 0;
+  std::size_t swaps_applied = 0;
+  std::size_t rounds = 0;
+};
+
+/// Improves `start` by move/swap hill climbing; allocations in the result
+/// are per-server exact (the search re-allocates every server it touches,
+/// and all servers once up front).
+[[nodiscard]] LocalSearchResult improve_local_search(
+    const Instance& instance, const Assignment& start,
+    const LocalSearchOptions& options = {});
+
+}  // namespace aa::core

@@ -1,0 +1,93 @@
+#include "aa/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "aa/refine.hpp"
+
+namespace aa::core {
+
+namespace {
+
+std::size_t count_migrations(const Assignment& before,
+                             const Assignment& after) {
+  std::size_t moves = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before.server[i] != after.server[i]) ++moves;
+  }
+  return moves;
+}
+
+Instance scaled_instance(const Instance& base,
+                         const std::vector<double>& factors) {
+  Instance epoch = base;
+  for (std::size_t i = 0; i < base.threads.size(); ++i) {
+    epoch.threads[i] =
+        std::make_shared<util::ScaledUtility>(base.threads[i], factors[i]);
+  }
+  return epoch;
+}
+
+}  // namespace
+
+OnlineResult run_online(const Instance& base, OnlinePolicy policy,
+                        const OnlineConfig& config, support::Rng& rng) {
+  base.validate();
+  const std::size_t n = base.num_threads();
+  std::vector<double> factors(n, 1.0);
+
+  OnlineResult result;
+  Assignment current;  // Placement carried across epochs.
+  bool have_current = false;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (epoch > 0) {
+      for (double& f : factors) {
+        f = std::clamp(f * std::exp(config.drift_sigma * rng.normal()),
+                       config.factor_min, config.factor_max);
+      }
+    }
+    const Instance instance = scaled_instance(base, factors);
+    const SolveResult fresh = solve_algorithm2_refined(instance);
+    result.oracle_utility += fresh.utility;
+
+    if (!have_current) {
+      current = fresh.assignment;
+      have_current = true;
+      result.total_utility += fresh.utility;
+      continue;
+    }
+
+    switch (policy) {
+      case OnlinePolicy::kStatic: {
+        // Frozen epoch-0 assignment and allocations.
+        result.total_utility += total_utility(instance, current);
+        break;
+      }
+      case OnlinePolicy::kResolve: {
+        result.migrations += count_migrations(current, fresh.assignment);
+        current = fresh.assignment;
+        result.total_utility += fresh.utility;
+        break;
+      }
+      case OnlinePolicy::kSticky: {
+        const Assignment retuned = reoptimize_allocations(instance, current);
+        const double retained = total_utility(instance, retuned);
+        if (fresh.utility > retained * (1.0 + config.hysteresis)) {
+          result.migrations += count_migrations(current, fresh.assignment);
+          current = fresh.assignment;
+          result.total_utility += fresh.utility;
+        } else {
+          current = retuned;
+          result.total_utility += retained;
+        }
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace aa::core

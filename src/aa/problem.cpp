@@ -1,0 +1,90 @@
+#include "aa/problem.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace aa::core {
+
+void Instance::validate() const {
+  if (num_servers == 0) {
+    throw std::invalid_argument("instance: need at least one server");
+  }
+  if (capacity < 0) {
+    throw std::invalid_argument("instance: negative capacity");
+  }
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    if (threads[i] == nullptr) {
+      throw std::invalid_argument("instance: null utility for thread " +
+                                  std::to_string(i));
+    }
+    if (threads[i]->capacity() < capacity) {
+      throw std::invalid_argument(
+          "instance: thread " + std::to_string(i) +
+          " utility domain smaller than server capacity");
+    }
+  }
+}
+
+double total_utility(const Instance& instance, const Assignment& assignment) {
+  if (assignment.server.size() != instance.num_threads() ||
+      assignment.alloc.size() != instance.num_threads()) {
+    throw std::invalid_argument("total_utility: assignment size mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < instance.num_threads(); ++i) {
+    total += instance.threads[i]->value(assignment.alloc[i]);
+  }
+  return total;
+}
+
+std::string check_assignment(const Instance& instance,
+                             const Assignment& assignment, double tol) {
+  const std::size_t n = instance.num_threads();
+  if (assignment.server.size() != n || assignment.alloc.size() != n) {
+    return "assignment arrays do not match the thread count";
+  }
+  std::vector<double> load(instance.num_servers, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (assignment.server[i] >= instance.num_servers) {
+      std::ostringstream msg;
+      msg << "thread " << i << " assigned to nonexistent server "
+          << assignment.server[i];
+      return msg.str();
+    }
+    if (assignment.alloc[i] < -tol) {
+      std::ostringstream msg;
+      msg << "thread " << i << " has negative allocation "
+          << assignment.alloc[i];
+      return msg.str();
+    }
+    load[assignment.server[i]] += assignment.alloc[i];
+  }
+  for (std::size_t j = 0; j < load.size(); ++j) {
+    if (load[j] > static_cast<double>(instance.capacity) + tol) {
+      std::ostringstream msg;
+      msg << "server " << j << " overloaded: " << load[j] << " > "
+          << instance.capacity;
+      return msg.str();
+    }
+  }
+  return {};
+}
+
+void require_valid(const Instance& instance, const Assignment& assignment,
+                   double tol) {
+  const std::string error = check_assignment(instance, assignment, tol);
+  if (!error.empty()) {
+    throw std::runtime_error("invalid assignment: " + error);
+  }
+}
+
+std::vector<double> server_loads(const Instance& instance,
+                                 const Assignment& assignment) {
+  std::vector<double> load(instance.num_servers, 0.0);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    load.at(assignment.server[i]) += assignment.alloc[i];
+  }
+  return load;
+}
+
+}  // namespace aa::core

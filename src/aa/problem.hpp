@@ -1,0 +1,68 @@
+#pragma once
+
+// The AA (assign-and-allocate) problem model (paper Section III).
+//
+// An Instance bundles m homogeneous servers of capacity C with n threads,
+// each carrying a concave utility function. An Assignment gives, for every
+// thread, a server index r_i and an allocation c_i; validity requires each
+// server's allocations to sum to at most C. The objective is
+// sum_i f_i(c_i) (Section III), computed by total_utility().
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "utility/utility_function.hpp"
+
+namespace aa::core {
+
+using util::Resource;
+using util::UtilityPtr;
+
+/// An AA problem instance: m servers with C resource units each, n threads.
+struct Instance {
+  std::size_t num_servers = 0;
+  Resource capacity = 0;
+  std::vector<UtilityPtr> threads;
+
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return threads.size();
+  }
+
+  /// Throws std::invalid_argument if the instance is malformed (no servers,
+  /// negative capacity, null utilities, or utilities whose domain is smaller
+  /// than C — threads must accept any allocation up to a full server).
+  void validate() const;
+};
+
+/// A solution: thread i runs on server `server[i]` with `alloc[i]` resource.
+/// Allocations are real-valued so the random heuristics can hand out
+/// fractional amounts; the paper's algorithms always produce integers.
+struct Assignment {
+  std::vector<std::size_t> server;
+  std::vector<double> alloc;
+
+  [[nodiscard]] std::size_t size() const noexcept { return server.size(); }
+};
+
+/// sum_i f_i(c_i) for the given assignment (paper Section III objective).
+[[nodiscard]] double total_utility(const Instance& instance,
+                                   const Assignment& assignment);
+
+/// Checks structural validity: matching sizes, server indices in range,
+/// nonnegative allocations, and per-server load <= C (+ tol for the
+/// fractional heuristics). Returns an empty string when valid, otherwise a
+/// human-readable description of the first violation.
+[[nodiscard]] std::string check_assignment(const Instance& instance,
+                                           const Assignment& assignment,
+                                           double tol = 1e-9);
+
+/// Convenience wrapper that throws std::runtime_error on invalid input.
+void require_valid(const Instance& instance, const Assignment& assignment,
+                   double tol = 1e-9);
+
+/// Per-server resource usage: sums of allocations by server index.
+[[nodiscard]] std::vector<double> server_loads(const Instance& instance,
+                                               const Assignment& assignment);
+
+}  // namespace aa::core

@@ -1,0 +1,60 @@
+#include "aa/refine.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "aa/algorithm1.hpp"
+#include "aa/algorithm2.hpp"
+#include "alloc/allocator.hpp"
+
+namespace aa::core {
+
+Assignment reoptimize_allocations(const Instance& instance,
+                                  const Assignment& placement) {
+  if (placement.server.size() != instance.num_threads() ||
+      placement.alloc.size() != instance.num_threads()) {
+    throw std::invalid_argument("reoptimize: assignment size mismatch");
+  }
+  Assignment out = placement;
+  std::vector<std::vector<std::size_t>> groups(instance.num_servers);
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    groups.at(placement.server[i]).push_back(i);
+  }
+  for (const auto& group : groups) {
+    if (group.empty()) continue;
+    std::vector<UtilityPtr> members;
+    members.reserve(group.size());
+    for (const std::size_t i : group) members.push_back(instance.threads[i]);
+    const alloc::AllocationResult result = alloc::allocate_greedy(
+        members, instance.capacity, instance.capacity);
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      out.alloc[group[k]] = static_cast<double>(result.amounts[k]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+SolveResult refined(const Instance& instance, SolveResult raw) {
+  Assignment better = reoptimize_allocations(instance, raw.assignment);
+  const double better_utility = total_utility(instance, better);
+  // Guaranteed non-decreasing, but guard against pathological float drift.
+  if (better_utility >= raw.utility) {
+    raw.assignment = std::move(better);
+    raw.utility = better_utility;
+  }
+  return raw;
+}
+
+}  // namespace
+
+SolveResult solve_algorithm2_refined(const Instance& instance) {
+  return refined(instance, solve_algorithm2(instance));
+}
+
+SolveResult solve_algorithm1_refined(const Instance& instance) {
+  return refined(instance, solve_algorithm1(instance));
+}
+
+}  // namespace aa::core

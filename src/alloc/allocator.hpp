@@ -1,0 +1,61 @@
+#pragma once
+
+// Single-pool concave resource allocation substrate (paper Section II
+// related work; used as a black box by Section V's Definition V.1).
+//
+// Problem: given threads with concave utility functions and a pool of `pool`
+// integer resource units, choose allocations a_i in [0, min(cap_i, C_i)]
+// with sum a_i <= pool maximizing sum f_i(a_i).
+//
+// Two exact algorithms are provided:
+//  * allocate_greedy   — marginal-gain heap greedy (Fox et al. [12] style),
+//                        O((n + pool) log n). Exact because concavity makes
+//                        the per-unit marginal sequence nonincreasing, so the
+//                        greedy exchange argument applies.
+//  * allocate_bisection— threshold search on the marginal value (Galil [16]
+//                        style), O(n (log pool)^2 + n log n): binary-searches
+//                        the Lagrange multiplier lambda, then distributes the
+//                        residual units across the lambda-plateau. This is
+//                        the algorithm the paper's complexity bounds cite.
+//  * allocate_dp_exact — O(n pool^2) dynamic program; reference oracle for
+//                        tests on small pools (works for arbitrary, even
+//                        non-concave, tabulated utilities).
+//
+// The super-optimal allocation of Definition V.1 is the same routine with
+// pool = m * C (see super_optimal.hpp).
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "utility/utility_function.hpp"
+
+namespace aa::alloc {
+
+struct AllocationResult {
+  std::vector<util::Resource> amounts;  ///< One allocation per thread.
+  double total_utility = 0.0;           ///< sum_i f_i(amounts[i]).
+};
+
+/// Per-thread allocation cap: each thread may receive at most
+/// min(f.capacity(), per_thread_cap) units. Pass kNoCap for no extra bound.
+inline constexpr util::Resource kNoCap =
+    std::numeric_limits<util::Resource>::max();
+
+/// Exact heap greedy. Requires concave utilities (nonincreasing marginals);
+/// behaviour on non-concave inputs is unspecified (use allocate_dp_exact).
+[[nodiscard]] AllocationResult allocate_greedy(
+    std::span<const util::UtilityPtr> threads, util::Resource pool,
+    util::Resource per_thread_cap = kNoCap);
+
+/// Exact threshold bisection; same contract as allocate_greedy.
+[[nodiscard]] AllocationResult allocate_bisection(
+    std::span<const util::UtilityPtr> threads, util::Resource pool,
+    util::Resource per_thread_cap = kNoCap);
+
+/// Exact dynamic program over integer units (reference oracle).
+[[nodiscard]] AllocationResult allocate_dp_exact(
+    std::span<const util::UtilityPtr> threads, util::Resource pool,
+    util::Resource per_thread_cap = kNoCap);
+
+}  // namespace aa::alloc

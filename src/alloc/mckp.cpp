@@ -1,0 +1,214 @@
+#include "alloc/mckp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aa::alloc {
+
+namespace {
+
+using util::Resource;
+
+void check_classes(std::span<const MckpClass> classes, Resource capacity) {
+  if (capacity < 0) throw std::invalid_argument("mckp: negative capacity");
+  for (const MckpClass& cls : classes) {
+    for (const MckpItem& item : cls) {
+      if (item.weight < 0) {
+        throw std::invalid_argument("mckp: negative item weight");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+MckpResult mckp_dp_exact(std::span<const MckpClass> classes,
+                         Resource capacity) {
+  check_classes(classes, capacity);
+  const auto cap = static_cast<std::size_t>(capacity);
+  const std::size_t n = classes.size();
+
+  std::vector<double> dp(cap + 1, 0.0);
+  // choice[i][c]: item picked for class i when the first i+1 classes use
+  // exactly budget c (kZeroChoice = the implicit zero item).
+  std::vector<std::vector<std::size_t>> choice(
+      n, std::vector<std::size_t>(cap + 1, kZeroChoice));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> next = dp;  // Zero item by default.
+    for (std::size_t j = 0; j < classes[i].size(); ++j) {
+      const MckpItem& item = classes[i][j];
+      if (item.weight > capacity) continue;
+      const auto w = static_cast<std::size_t>(item.weight);
+      for (std::size_t c = cap; c >= w; --c) {
+        const double candidate = dp[c - w] + item.value;
+        if (candidate > next[c]) {
+          next[c] = candidate;
+          choice[i][c] = j;
+        }
+        if (c == 0) break;  // Unsigned guard (w == 0).
+      }
+    }
+    dp = std::move(next);
+  }
+
+  MckpResult result;
+  result.choice.assign(n, kZeroChoice);
+  std::size_t budget = cap;
+  // dp is nondecreasing in budget, so the optimum sits at full budget.
+  result.total_value = dp[cap];
+  for (std::size_t i = n; i-- > 0;) {
+    const std::size_t j = choice[i][budget];
+    result.choice[i] = j;
+    if (j != kZeroChoice) {
+      const auto w = static_cast<std::size_t>(classes[i][j].weight);
+      result.total_weight += classes[i][j].weight;
+      budget -= w;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Upper-convex-hull of a class, including the implicit (0, 0) item.
+/// Returns indices into the class (kZeroChoice marks the origin).
+struct HullPoint {
+  Resource weight;
+  double value;
+  std::size_t item;  // Original index, kZeroChoice for the origin.
+};
+
+std::vector<HullPoint> upper_hull(const MckpClass& cls) {
+  std::vector<HullPoint> points;
+  points.push_back({0, 0.0, kZeroChoice});
+  std::vector<std::size_t> order(cls.size());
+  for (std::size_t j = 0; j < order.size(); ++j) order[j] = j;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (cls[a].weight != cls[b].weight) return cls[a].weight < cls[b].weight;
+    return cls[a].value > cls[b].value;
+  });
+  for (const std::size_t j : order) {
+    const MckpItem& item = cls[j];
+    if (item.value <= points.back().value) continue;  // Dominated.
+    HullPoint candidate{item.weight, item.value, j};
+    // Pop hull points that make the slope sequence non-decreasing.
+    while (points.size() >= 2) {
+      const HullPoint& b = points.back();
+      const HullPoint& a = points[points.size() - 2];
+      if (candidate.weight == b.weight) break;  // Same weight, b has >= value.
+      const double slope_ab =
+          (b.value - a.value) / static_cast<double>(b.weight - a.weight);
+      const double slope_bc = (candidate.value - b.value) /
+                              static_cast<double>(candidate.weight - b.weight);
+      if (slope_bc > slope_ab) {
+        points.pop_back();
+      } else {
+        break;
+      }
+    }
+    if (candidate.weight > points.back().weight) {
+      points.push_back(candidate);
+    } else if (candidate.weight == points.back().weight &&
+               candidate.value > points.back().value) {
+      // Zero-weight item with positive value supersedes the origin.
+      points.back() = candidate;
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+MckpResult mckp_greedy(std::span<const MckpClass> classes, Resource capacity) {
+  check_classes(classes, capacity);
+  const std::size_t n = classes.size();
+
+  struct Increment {
+    double density;
+    Resource dw;
+    double dv;
+    std::size_t cls;
+    std::size_t step;  // Position within the class hull (1-based).
+    std::size_t item;  // Original item index reached by this increment.
+  };
+
+  std::vector<std::vector<HullPoint>> hulls(n);
+  std::vector<Increment> increments;
+  for (std::size_t i = 0; i < n; ++i) {
+    hulls[i] = upper_hull(classes[i]);
+    for (std::size_t p = 1; p < hulls[i].size(); ++p) {
+      const Resource dw = hulls[i][p].weight - hulls[i][p - 1].weight;
+      const double dv = hulls[i][p].value - hulls[i][p - 1].value;
+      increments.push_back({dv / static_cast<double>(dw), dw, dv, i, p,
+                            hulls[i][p].item});
+    }
+  }
+  // Density order; ties keep per-class step order (lower step first).
+  std::sort(increments.begin(), increments.end(),
+            [](const Increment& a, const Increment& b) {
+              if (a.density != b.density) return a.density > b.density;
+              if (a.cls != b.cls) return a.cls < b.cls;
+              return a.step < b.step;
+            });
+
+  MckpResult greedy;
+  greedy.choice.assign(n, kZeroChoice);
+  std::vector<std::size_t> hull_pos(n, 0);
+  Resource remaining = capacity;
+  for (const Increment& inc : increments) {
+    if (hull_pos[inc.cls] + 1 != inc.step) continue;  // Out-of-order tie.
+    if (inc.dw > remaining) break;  // LP would split here; greedy stops.
+    remaining -= inc.dw;
+    hull_pos[inc.cls] = inc.step;
+    greedy.choice[inc.cls] = inc.item;
+    greedy.total_value += inc.dv;
+    greedy.total_weight += inc.dw;
+  }
+
+  // Gens-Levner safeguard: the best feasible single item alone.
+  MckpResult best_single;
+  best_single.choice.assign(n, kZeroChoice);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < classes[i].size(); ++j) {
+      const MckpItem& item = classes[i][j];
+      if (item.weight <= capacity && item.value > best_single.total_value) {
+        best_single.choice.assign(n, kZeroChoice);
+        best_single.choice[i] = j;
+        best_single.total_value = item.value;
+        best_single.total_weight = item.weight;
+      }
+    }
+  }
+  return best_single.total_value > greedy.total_value ? best_single : greedy;
+}
+
+MckpClass class_from_utility(const util::UtilityFunction& f,
+                             std::span<const Resource> levels) {
+  MckpClass cls;
+  Resource prev = -1;
+  std::vector<Resource> sorted(levels.begin(), levels.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (Resource level : sorted) {
+    level = std::clamp<Resource>(level, 0, f.capacity());
+    if (level == prev || level == 0) continue;
+    prev = level;
+    cls.push_back({level, f.value(static_cast<double>(level))});
+  }
+  return cls;
+}
+
+MckpClass class_from_utility_uniform(const util::UtilityFunction& f,
+                                     Resource step) {
+  if (step <= 0) throw std::invalid_argument("mckp: step must be positive");
+  std::vector<Resource> levels;
+  for (Resource level = step; level <= f.capacity(); level += step) {
+    levels.push_back(level);
+  }
+  if (levels.empty() || levels.back() != f.capacity()) {
+    levels.push_back(f.capacity());
+  }
+  return class_from_utility(f, levels);
+}
+
+}  // namespace aa::alloc

@@ -1,0 +1,34 @@
+#include "alloc/super_optimal.hpp"
+
+#include <stdexcept>
+
+namespace aa::alloc {
+
+namespace {
+
+util::Resource pooled(std::size_t num_servers, util::Resource capacity) {
+  if (capacity < 0) {
+    throw std::invalid_argument("super_optimal: negative capacity");
+  }
+  return static_cast<util::Resource>(num_servers) * capacity;
+}
+
+}  // namespace
+
+SuperOptimalResult super_optimal(std::span<const util::UtilityPtr> threads,
+                                 std::size_t num_servers,
+                                 util::Resource capacity) {
+  AllocationResult result =
+      allocate_bisection(threads, pooled(num_servers, capacity), capacity);
+  return {std::move(result.amounts), result.total_utility};
+}
+
+SuperOptimalResult super_optimal_greedy(
+    std::span<const util::UtilityPtr> threads, std::size_t num_servers,
+    util::Resource capacity) {
+  AllocationResult result =
+      allocate_greedy(threads, pooled(num_servers, capacity), capacity);
+  return {std::move(result.amounts), result.total_utility};
+}
+
+}  // namespace aa::alloc

@@ -1,0 +1,51 @@
+#include "cachesim/machine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aa::cachesim {
+
+ThreadProfile profile_trace(const Trace& trace, const CacheGeometry& geometry,
+                            const PerfModel& model) {
+  ThreadProfile profile;
+  profile.curve =
+      build_miss_curve(compute_stack_distances(trace), geometry);
+  profile.model = model;
+  profile.utility = utility_from_miss_curve(profile.curve, model);
+  return profile;
+}
+
+core::Instance build_instance(const Machine& machine,
+                              const std::vector<ThreadProfile>& profiles) {
+  if (machine.num_sockets == 0) {
+    throw std::invalid_argument("machine: need at least one socket");
+  }
+  core::Instance instance;
+  instance.num_servers = machine.num_sockets;
+  instance.capacity = static_cast<util::Resource>(machine.geometry.total_ways);
+  instance.threads.reserve(profiles.size());
+  for (const ThreadProfile& p : profiles) {
+    if (p.utility == nullptr) {
+      throw std::invalid_argument("machine: profile missing utility");
+    }
+    instance.threads.push_back(p.utility);
+  }
+  instance.validate();
+  return instance;
+}
+
+double measure_throughput(const std::vector<ThreadProfile>& profiles,
+                          const core::Assignment& assignment) {
+  if (assignment.size() != profiles.size()) {
+    throw std::invalid_argument("measure: assignment size mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto ways = static_cast<std::uint64_t>(
+        std::floor(std::max(0.0, assignment.alloc[i])));
+    total += profiles[i].curve.throughput(ways, profiles[i].model);
+  }
+  return total;
+}
+
+}  // namespace aa::cachesim

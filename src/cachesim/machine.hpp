@@ -1,0 +1,44 @@
+#pragma once
+
+// Multi-socket machine model tying the cache simulator to the AA problem
+// (paper Section I's multicore scenario): each socket is an AA "server"
+// whose shared LLC contributes `total_ways` resource units; threads are
+// placed on sockets and given way-partitions.
+
+#include <cstdint>
+#include <vector>
+
+#include "aa/problem.hpp"
+#include "cachesim/miss_curve.hpp"
+
+namespace aa::cachesim {
+
+/// One thread's workload characterization.
+struct ThreadProfile {
+  MissCurve curve;          ///< Raw measured behaviour.
+  PerfModel model;          ///< Latency/throughput parameters.
+  util::UtilityPtr utility; ///< Concave AA model of throughput(ways).
+};
+
+/// Profiles a trace end-to-end: stack distances -> miss curve -> utility.
+[[nodiscard]] ThreadProfile profile_trace(const Trace& trace,
+                                          const CacheGeometry& geometry,
+                                          const PerfModel& model);
+
+struct Machine {
+  std::size_t num_sockets = 2;
+  CacheGeometry geometry;
+};
+
+/// Builds the AA instance for scheduling `profiles` on `machine`
+/// (capacity = ways per socket; utilities = concave throughput models).
+[[nodiscard]] core::Instance build_instance(
+    const Machine& machine, const std::vector<ThreadProfile>& profiles);
+
+/// Aggregate achieved throughput of an assignment, measured with the RAW
+/// miss curves (way allocations are rounded down to whole ways — partial
+/// ways cannot be granted by hardware).
+[[nodiscard]] double measure_throughput(
+    const std::vector<ThreadProfile>& profiles, const core::Assignment& assignment);
+
+}  // namespace aa::cachesim

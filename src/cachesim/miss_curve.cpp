@@ -1,0 +1,52 @@
+#include "cachesim/miss_curve.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace aa::cachesim {
+
+double MissCurve::miss_ratio(std::uint64_t ways) const {
+  if (accesses == 0) return 0.0;
+  const std::size_t idx =
+      std::min<std::size_t>(ways, misses_by_ways.size() - 1);
+  return static_cast<double>(misses_by_ways[idx]) /
+         static_cast<double>(accesses);
+}
+
+double MissCurve::throughput(std::uint64_t ways, const PerfModel& model) const {
+  if (accesses == 0) return 0.0;
+  const std::size_t idx =
+      std::min<std::size_t>(ways, misses_by_ways.size() - 1);
+  const double a = static_cast<double>(accesses);
+  const double cycles = a * model.hit_cost +
+                        static_cast<double>(misses_by_ways[idx]) *
+                            model.miss_penalty;
+  return model.instructions_per_access * a / cycles;
+}
+
+MissCurve build_miss_curve(const StackDistanceProfile& profile,
+                           const CacheGeometry& geometry) {
+  if (geometry.total_ways == 0 || geometry.lines_per_way == 0) {
+    throw std::invalid_argument("miss curve: degenerate cache geometry");
+  }
+  MissCurve curve;
+  curve.accesses = profile.total_accesses;
+  curve.misses_by_ways.resize(geometry.total_ways + 1);
+  curve.misses_by_ways[0] = profile.total_accesses;  // No LLC share at all.
+  for (std::uint64_t w = 1; w <= geometry.total_ways; ++w) {
+    curve.misses_by_ways[w] = profile.misses_at(w * geometry.lines_per_way);
+  }
+  return curve;
+}
+
+util::UtilityPtr utility_from_miss_curve(const MissCurve& curve,
+                                         const PerfModel& model) {
+  std::vector<double> samples(curve.misses_by_ways.size());
+  for (std::size_t w = 0; w < samples.size(); ++w) {
+    samples[w] = curve.throughput(w, model);
+  }
+  return std::make_shared<util::TabulatedUtility>(
+      util::TabulatedUtility::from_samples_with_repair(samples));
+}
+
+}  // namespace aa::cachesim

@@ -1,0 +1,62 @@
+#pragma once
+
+// Miss-rate curves and their conversion into AA utility functions.
+//
+// A thread's miss curve gives its miss count as a function of the number of
+// LLC ways it owns (way-granular partitioning, as in Qureshi & Patt's
+// utility-based cache partitioning [4]). Throughput follows a standard
+// latency model:
+//
+//   cycles(w) = accesses * hit_cost + misses(w) * miss_penalty
+//   throughput(w) = instructions_per_access * accesses / cycles(w)
+//
+// Miss curves are nonincreasing, so throughput is nondecreasing; it is not
+// guaranteed concave (real miss curves have plateaus and cliffs), so the AA
+// model uses the PAV-projected concave version while the machine simulator
+// measures achieved throughput with the raw curve. The gap between the two
+// is reported by the cachesim tests and the domain bench.
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/stack_distance.hpp"
+#include "utility/utility_function.hpp"
+
+namespace aa::cachesim {
+
+struct CacheGeometry {
+  std::uint64_t total_ways = 16;
+  std::uint64_t lines_per_way = 1024;  ///< e.g. 64 KiB way / 64 B lines.
+};
+
+/// Per-thread performance model parameters.
+struct PerfModel {
+  double hit_cost = 1.0;          ///< Cycles per (hitting) access.
+  double miss_penalty = 40.0;     ///< Extra cycles per LLC miss.
+  double instructions_per_access = 4.0;
+};
+
+/// A thread's measured behaviour: misses as a function of owned ways
+/// (index 0 = no ways = every access misses the LLC).
+struct MissCurve {
+  std::vector<std::uint64_t> misses_by_ways;  ///< Size total_ways + 1.
+  std::uint64_t accesses = 0;
+
+  [[nodiscard]] double miss_ratio(std::uint64_t ways) const;
+
+  /// Raw (not necessarily concave) throughput at `ways`.
+  [[nodiscard]] double throughput(std::uint64_t ways,
+                                  const PerfModel& model) const;
+};
+
+/// Builds the miss curve of a trace for the given geometry by evaluating the
+/// stack-distance profile at each way count.
+[[nodiscard]] MissCurve build_miss_curve(const StackDistanceProfile& profile,
+                                         const CacheGeometry& geometry);
+
+/// Converts a miss curve into a concave AA utility on [0, total_ways]
+/// (resource unit = one way) via PAV projection of the throughput samples.
+[[nodiscard]] util::UtilityPtr utility_from_miss_curve(
+    const MissCurve& curve, const PerfModel& model);
+
+}  // namespace aa::cachesim

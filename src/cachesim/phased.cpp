@@ -1,0 +1,97 @@
+#include "cachesim/phased.hpp"
+
+#include <stdexcept>
+
+#include "aa/refine.hpp"
+
+namespace aa::cachesim {
+
+namespace {
+
+core::Instance epoch_instance(const Machine& machine,
+                              const std::vector<PhasedThread>& threads,
+                              std::size_t epoch) {
+  std::vector<ThreadProfile> profiles;
+  profiles.reserve(threads.size());
+  for (const PhasedThread& thread : threads) {
+    profiles.push_back(thread.profile_at(epoch));
+  }
+  return build_instance(machine, profiles);
+}
+
+double measure_epoch(const std::vector<PhasedThread>& threads,
+                     std::size_t epoch, const core::Assignment& assignment) {
+  std::vector<ThreadProfile> profiles;
+  profiles.reserve(threads.size());
+  for (const PhasedThread& thread : threads) {
+    profiles.push_back(thread.profile_at(epoch));
+  }
+  return measure_throughput(profiles, assignment);
+}
+
+std::size_t count_migrations(const core::Assignment& before,
+                             const core::Assignment& after) {
+  std::size_t moves = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before.server[i] != after.server[i]) ++moves;
+  }
+  return moves;
+}
+
+}  // namespace
+
+PhasedResult simulate_phased(const Machine& machine,
+                             const std::vector<PhasedThread>& threads,
+                             core::OnlinePolicy policy, std::size_t epochs,
+                             double hysteresis) {
+  for (const PhasedThread& thread : threads) {
+    if (thread.phases.empty()) {
+      throw std::invalid_argument("phased: thread with no phases");
+    }
+  }
+
+  PhasedResult result;
+  core::Assignment current;
+  bool have_current = false;
+
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    const core::Instance instance = epoch_instance(machine, threads, epoch);
+    const core::SolveResult fresh =
+        core::solve_algorithm2_refined(instance);
+    result.oracle_ipc += measure_epoch(threads, epoch, fresh.assignment);
+
+    if (!have_current) {
+      current = fresh.assignment;
+      have_current = true;
+      result.achieved_ipc += measure_epoch(threads, epoch, current);
+      continue;
+    }
+
+    switch (policy) {
+      case core::OnlinePolicy::kStatic:
+        break;  // Never adapt.
+      case core::OnlinePolicy::kResolve:
+        result.migrations += count_migrations(current, fresh.assignment);
+        current = fresh.assignment;
+        break;
+      case core::OnlinePolicy::kSticky: {
+        // Re-partition ways within sockets for free; migrate only when the
+        // fresh solve wins by the hysteresis margin on the model utility.
+        const core::Assignment retuned =
+            core::reoptimize_allocations(instance, current);
+        const double retained = core::total_utility(instance, retuned);
+        if (fresh.utility > retained * (1.0 + hysteresis)) {
+          result.migrations += count_migrations(current, fresh.assignment);
+          current = fresh.assignment;
+        } else {
+          current = retuned;
+        }
+        break;
+      }
+    }
+    result.achieved_ipc += measure_epoch(threads, epoch, current);
+  }
+  return result;
+}
+
+}  // namespace aa::cachesim

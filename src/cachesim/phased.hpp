@@ -1,0 +1,55 @@
+#pragma once
+
+// Phased co-run simulation: program phase behaviour meets online
+// re-assignment (paper Sections I + VIII together).
+//
+// Real programs move through phases with different locality (loop nests,
+// build/probe phases, scans); each phase has its own miss curve and hence
+// its own utility. This module drives the multi-socket machine through a
+// phase timeline: at every epoch each thread exposes its CURRENT phase's
+// concave utility model, a policy decides whether to re-solve the AA
+// problem, and achieved throughput is measured with the RAW miss curve of
+// the active phase. Migrations (socket changes) are counted; re-partitioning
+// ways within a socket is free, as in aa/online.hpp.
+
+#include <cstddef>
+#include <vector>
+
+#include "aa/online.hpp"
+#include "cachesim/machine.hpp"
+#include "support/prng.hpp"
+
+namespace aa::cachesim {
+
+/// A thread with per-phase behaviour. `phase_of_epoch(e)` indexes into
+/// `phases` via a round-robin schedule with the given phase length.
+struct PhasedThread {
+  std::vector<ThreadProfile> phases;
+  std::size_t phase_length = 4;  ///< Epochs spent in each phase.
+  std::size_t initial_phase = 0;
+
+  [[nodiscard]] const ThreadProfile& profile_at(std::size_t epoch) const {
+    const std::size_t step = epoch / std::max<std::size_t>(1, phase_length);
+    return phases[(initial_phase + step) % phases.size()];
+  }
+};
+
+struct PhasedResult {
+  double achieved_ipc = 0.0;   ///< Sum over epochs of measured throughput.
+  double oracle_ipc = 0.0;     ///< Same, re-solving every epoch.
+  std::size_t migrations = 0;
+
+  [[nodiscard]] double fraction() const noexcept {
+    return oracle_ipc > 0.0 ? achieved_ipc / oracle_ipc : 1.0;
+  }
+};
+
+/// Simulates `epochs` epochs of the phase timeline under the given policy
+/// (kStatic / kSticky / kResolve semantics as in aa/online.hpp; hysteresis
+/// applies to kSticky). All threads must have at least one phase whose
+/// utility matches the machine's way count.
+[[nodiscard]] PhasedResult simulate_phased(
+    const Machine& machine, const std::vector<PhasedThread>& threads,
+    core::OnlinePolicy policy, std::size_t epochs, double hysteresis = 0.05);
+
+}  // namespace aa::cachesim

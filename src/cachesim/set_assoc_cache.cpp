@@ -1,0 +1,88 @@
+#include "cachesim/set_assoc_cache.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace aa::cachesim {
+
+namespace {
+
+constexpr std::uint64_t kEmpty = std::numeric_limits<std::uint64_t>::max();
+
+bool is_power_of_two(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+SetAssocCache::SetAssocCache(const SetAssocConfig& config,
+                             std::uint64_t owned_ways)
+    : config_(config), owned_ways_(owned_ways) {
+  if (!is_power_of_two(config.num_sets)) {
+    throw std::invalid_argument("set-assoc cache: num_sets must be 2^k");
+  }
+  if (config.num_ways == 0) {
+    throw std::invalid_argument("set-assoc cache: need at least one way");
+  }
+  if (owned_ways > config.num_ways) {
+    throw std::invalid_argument("set-assoc cache: owned ways exceed total");
+  }
+  tags_.assign(config.num_sets * owned_ways_, kEmpty);
+  stamps_.assign(config.num_sets * owned_ways_, 0);
+}
+
+bool SetAssocCache::access(std::uint64_t line) {
+  ++clock_;
+  if (owned_ways_ == 0) {
+    ++misses_;
+    return false;
+  }
+  const std::uint64_t set = line & (config_.num_sets - 1);
+  const std::uint64_t tag = line >> __builtin_ctzll(config_.num_sets);
+  const std::size_t base = static_cast<std::size_t>(set * owned_ways_);
+
+  std::size_t victim = base;
+  std::uint64_t victim_stamp = kEmpty;
+  for (std::size_t w = base; w < base + owned_ways_; ++w) {
+    if (tags_[w] == tag) {
+      stamps_[w] = clock_;
+      ++hits_;
+      return true;
+    }
+    // Track LRU victim: empty slots (stamp 0, tag kEmpty) win immediately.
+    const std::uint64_t stamp = tags_[w] == kEmpty ? 0 : stamps_[w];
+    if (stamp < victim_stamp) {
+      victim_stamp = stamp;
+      victim = w;
+    }
+  }
+  tags_[victim] = tag;
+  stamps_[victim] = clock_;
+  ++misses_;
+  return false;
+}
+
+std::uint64_t SetAssocCache::run(const Trace& trace) {
+  const std::uint64_t before = misses_;
+  for (const std::uint64_t line : trace) access(line);
+  return misses_ - before;
+}
+
+void SetAssocCache::reset() {
+  std::fill(tags_.begin(), tags_.end(), kEmpty);
+  std::fill(stamps_.begin(), stamps_.end(), 0);
+  clock_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+std::vector<std::uint64_t> measure_miss_curve(const Trace& trace,
+                                              const SetAssocConfig& config) {
+  std::vector<std::uint64_t> curve(config.num_ways + 1, 0);
+  for (std::uint64_t ways = 0; ways <= config.num_ways; ++ways) {
+    SetAssocCache cache(config, ways);
+    curve[ways] = cache.run(trace);
+  }
+  return curve;
+}
+
+}  // namespace aa::cachesim

@@ -1,0 +1,62 @@
+#pragma once
+
+// Cycle-by-access set-associative cache simulator with way partitioning.
+//
+// The stack-distance model (stack_distance.hpp) predicts misses for a
+// fully-associative LRU cache; real LLCs are set-associative and enforce
+// partitions per way (Qureshi & Patt [4], Intel CAT). This simulator plays
+// a trace against a concrete set-associative LRU cache whose ways are
+// divided among threads, giving ground truth to validate both the
+// analytical model and the end-to-end AA placement (tests and
+// bench/domain_cachesim compare the two).
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/trace.hpp"
+
+namespace aa::cachesim {
+
+struct SetAssocConfig {
+  std::uint64_t num_sets = 64;   ///< Power of two.
+  std::uint64_t num_ways = 16;   ///< Associativity.
+};
+
+/// A single-thread view of a way-partitioned set-associative LRU cache:
+/// the thread owns `owned_ways` ways in every set.
+class SetAssocCache {
+ public:
+  /// Throws std::invalid_argument unless 0 < owned_ways <= num_ways and
+  /// num_sets is a power of two. owned_ways == 0 is allowed and models a
+  /// thread with no LLC share (every access misses).
+  SetAssocCache(const SetAssocConfig& config, std::uint64_t owned_ways);
+
+  /// Plays one access; returns true on hit. LRU within the owned ways.
+  bool access(std::uint64_t line);
+
+  /// Plays a whole trace; returns the number of misses.
+  [[nodiscard]] std::uint64_t run(const Trace& trace);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+  void reset();
+
+ private:
+  SetAssocConfig config_;
+  std::uint64_t owned_ways_;
+  // Per set: owned_ways_ slots of (tag, last-use stamp); empty = ~0.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> stamps_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Measured miss counts of `trace` for every way share 0..num_ways
+/// (index = owned ways). The set-associative analogue of
+/// StackDistanceProfile::misses_at.
+[[nodiscard]] std::vector<std::uint64_t> measure_miss_curve(
+    const Trace& trace, const SetAssocConfig& config);
+
+}  // namespace aa::cachesim

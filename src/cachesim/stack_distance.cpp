@@ -1,0 +1,92 @@
+#include "cachesim/stack_distance.hpp"
+
+#include <algorithm>
+#include <list>
+#include <unordered_map>
+
+#include "support/fenwick.hpp"
+
+namespace aa::cachesim {
+
+std::uint64_t StackDistanceProfile::misses_at(
+    std::uint64_t lines) const noexcept {
+  std::uint64_t misses = cold_accesses;
+  for (std::uint64_t d = lines + 1; d < histogram.size(); ++d) {
+    misses += histogram[d];
+  }
+  return misses;
+}
+
+StackDistanceProfile compute_stack_distances(const Trace& trace) {
+  StackDistanceProfile profile;
+  profile.total_accesses = trace.size();
+  if (trace.empty()) return profile;
+
+  // A mark at timestamp t means "some line's most recent access was at t".
+  // The stack distance of a reuse at time `now` of a line last seen at
+  // `last` is the number of marks in (last, now), plus one for the line
+  // itself.
+  support::FenwickTree marks(trace.size());
+  std::unordered_map<std::uint64_t, std::size_t> last_access;
+  last_access.reserve(trace.size());
+
+  std::vector<std::uint64_t> distances;
+  distances.reserve(trace.size());
+  std::uint64_t max_distance = 0;
+
+  for (std::size_t now = 0; now < trace.size(); ++now) {
+    const std::uint64_t line = trace[now];
+    const auto it = last_access.find(line);
+    if (it == last_access.end()) {
+      ++profile.cold_accesses;
+    } else {
+      const std::size_t last = it->second;
+      const auto between = static_cast<std::uint64_t>(
+          last + 1 <= now - 1 ? marks.range_sum(last + 1, now - 1) : 0);
+      const std::uint64_t d = between + 1;
+      distances.push_back(d);
+      max_distance = std::max(max_distance, d);
+      marks.add(last, -1);
+    }
+    marks.add(now, +1);
+    last_access[line] = now;
+  }
+
+  profile.histogram.assign(max_distance + 1, 0);
+  for (const std::uint64_t d : distances) ++profile.histogram[d];
+  return profile;
+}
+
+StackDistanceProfile compute_stack_distances_naive(const Trace& trace) {
+  StackDistanceProfile profile;
+  profile.total_accesses = trace.size();
+  std::list<std::uint64_t> stack;  // Front = most recently used.
+  std::vector<std::uint64_t> distances;
+  std::uint64_t max_distance = 0;
+
+  for (const std::uint64_t line : trace) {
+    std::uint64_t depth = 0;
+    auto found = stack.end();
+    for (auto it = stack.begin(); it != stack.end(); ++it) {
+      ++depth;
+      if (*it == line) {
+        found = it;
+        break;
+      }
+    }
+    if (found == stack.end()) {
+      ++profile.cold_accesses;
+    } else {
+      distances.push_back(depth);
+      max_distance = std::max(max_distance, depth);
+      stack.erase(found);
+    }
+    stack.push_front(line);
+  }
+
+  profile.histogram.assign(max_distance + 1, 0);
+  for (const std::uint64_t d : distances) ++profile.histogram[d];
+  return profile;
+}
+
+}  // namespace aa::cachesim

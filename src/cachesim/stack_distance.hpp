@@ -1,0 +1,47 @@
+#pragma once
+
+// Mattson LRU stack-distance analysis (Mattson et al., 1970): one pass over
+// a trace yields hit counts for EVERY fully-associative LRU cache size
+// simultaneously. An access's stack distance is the number of distinct
+// lines touched since the previous access to the same line, inclusive of
+// the line itself; it hits in any LRU cache holding at least that many
+// lines. Implemented with a Fenwick tree over access timestamps
+// (O(N log N) time, O(N + footprint) space).
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/trace.hpp"
+
+namespace aa::cachesim {
+
+struct StackDistanceProfile {
+  /// histogram[d] = number of accesses with stack distance d (d >= 1).
+  /// Index 0 is unused (distance is at least 1 for a reuse).
+  std::vector<std::uint64_t> histogram;
+
+  /// First-touch accesses (infinite distance: compulsory misses).
+  std::uint64_t cold_accesses = 0;
+
+  /// Total accesses analyzed.
+  std::uint64_t total_accesses = 0;
+
+  /// Number of distinct lines in the trace (== cold_accesses).
+  [[nodiscard]] std::uint64_t footprint() const noexcept {
+    return cold_accesses;
+  }
+
+  /// Misses in a fully-associative LRU cache of `lines` lines:
+  /// cold misses plus all reuses at distance > lines.
+  [[nodiscard]] std::uint64_t misses_at(std::uint64_t lines) const noexcept;
+};
+
+/// Computes the stack-distance profile of a trace.
+[[nodiscard]] StackDistanceProfile compute_stack_distances(const Trace& trace);
+
+/// Reference O(N * footprint) implementation maintaining an explicit LRU
+/// stack; test oracle for compute_stack_distances.
+[[nodiscard]] StackDistanceProfile compute_stack_distances_naive(
+    const Trace& trace);
+
+}  // namespace aa::cachesim

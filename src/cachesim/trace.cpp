@@ -1,0 +1,97 @@
+#include "cachesim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+#include <stdexcept>
+
+namespace aa::cachesim {
+
+TraceConfig TraceConfig::cache_friendly(std::uint64_t hot_lines,
+                                        std::size_t length) {
+  return {.pools = {{hot_lines, 1.0}}, .length = length};
+}
+
+TraceConfig TraceConfig::streaming(std::uint64_t footprint,
+                                   std::size_t length) {
+  // A huge uniformly-accessed pool: reuse distances mostly exceed any
+  // realistic cache, so the miss curve stays flat and high.
+  return {.pools = {{footprint, 1.0}}, .length = length};
+}
+
+TraceConfig TraceConfig::mixed(std::uint64_t hot_lines,
+                               std::uint64_t warm_lines,
+                               std::uint64_t cold_lines, std::size_t length) {
+  return {.pools = {{hot_lines, 0.6}, {warm_lines, 0.3}, {cold_lines, 0.1}},
+          .length = length};
+}
+
+Trace generate_trace(const TraceConfig& config, support::Rng& rng) {
+  if (config.pools.empty()) {
+    throw std::invalid_argument("trace: need at least one pool");
+  }
+  double total_weight = 0.0;
+  for (const LocalityPool& pool : config.pools) {
+    if (pool.lines == 0) throw std::invalid_argument("trace: empty pool");
+    if (pool.weight < 0.0) {
+      throw std::invalid_argument("trace: negative weight");
+    }
+    total_weight += pool.weight;
+  }
+  if (total_weight <= 0.0) {
+    throw std::invalid_argument("trace: zero total weight");
+  }
+
+  // Disjoint base addresses per pool.
+  std::vector<std::uint64_t> base(config.pools.size(), 0);
+  for (std::size_t p = 1; p < config.pools.size(); ++p) {
+    base[p] = base[p - 1] + config.pools[p - 1].lines;
+  }
+
+  Trace trace;
+  trace.reserve(config.length);
+  for (std::size_t t = 0; t < config.length; ++t) {
+    double pick = rng.uniform01() * total_weight;
+    std::size_t p = 0;
+    while (p + 1 < config.pools.size() && pick >= config.pools[p].weight) {
+      pick -= config.pools[p].weight;
+      ++p;
+    }
+    trace.push_back(base[p] + rng.uniform_below(config.pools[p].lines));
+  }
+  return trace;
+}
+
+Trace generate_zipf_trace(const ZipfTraceConfig& config,
+                          support::Rng& rng) {
+  if (config.lines == 0) {
+    throw std::invalid_argument("zipf trace: need at least one line");
+  }
+  if (config.exponent <= 0.0) {
+    throw std::invalid_argument("zipf trace: exponent must be positive");
+  }
+  // Cumulative popularity table; binary search per access.
+  std::vector<double> cdf(config.lines);
+  double total = 0.0;
+  for (std::uint64_t i = 0; i < config.lines; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -config.exponent);
+    cdf[i] = total;
+  }
+  Trace trace;
+  trace.reserve(config.length);
+  for (std::size_t t = 0; t < config.length; ++t) {
+    const double pick = rng.uniform01() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), pick);
+    trace.push_back(static_cast<std::uint64_t>(it - cdf.begin()));
+  }
+  return trace;
+}
+
+Trace sequential_trace(std::uint64_t lines) {
+  Trace trace(lines);
+  std::iota(trace.begin(), trace.end(), std::uint64_t{0});
+  return trace;
+}
+
+}  // namespace aa::cachesim

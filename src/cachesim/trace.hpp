@@ -1,0 +1,69 @@
+#pragma once
+
+// Synthetic cache-line access trace generation.
+//
+// The paper's introduction motivates AA with multicore cache partitioning:
+// each thread's utility is its throughput as a function of its share of the
+// shared last-level cache, derived from a miss-rate curve. The authors
+// measure such curves on real programs; we have no proprietary traces, so
+// this module generates synthetic ones with controlled locality structure
+// (see DESIGN.md's substitution table). A mixture of fixed-size "pools" of
+// cache lines, each accessed with its own probability, produces miss-rate
+// curves with knees at the pool sizes — the same qualitative shapes
+// (streaming, cache-friendly, saturating) seen in the paper's citations
+// [4, 10].
+
+#include <cstdint>
+#include <vector>
+
+#include "support/prng.hpp"
+
+namespace aa::cachesim {
+
+/// A cache-line address trace (line granularity; no intra-line offsets).
+using Trace = std::vector<std::uint64_t>;
+
+/// One locality pool: `lines` distinct lines collectively drawing `weight`
+/// of the accesses (weights are normalized across pools).
+struct LocalityPool {
+  std::uint64_t lines = 1;
+  double weight = 1.0;
+};
+
+struct TraceConfig {
+  std::vector<LocalityPool> pools;
+  std::size_t length = 100000;  ///< Number of accesses.
+
+  /// Convenience presets mirroring common workload archetypes.
+  [[nodiscard]] static TraceConfig cache_friendly(std::uint64_t hot_lines,
+                                                  std::size_t length);
+  [[nodiscard]] static TraceConfig streaming(std::uint64_t footprint,
+                                             std::size_t length);
+  [[nodiscard]] static TraceConfig mixed(std::uint64_t hot_lines,
+                                         std::uint64_t warm_lines,
+                                         std::uint64_t cold_lines,
+                                         std::size_t length);
+};
+
+/// Generates a trace: each access picks a pool by weight, then a line
+/// uniformly within the pool. Pools occupy disjoint line-address ranges.
+[[nodiscard]] Trace generate_trace(const TraceConfig& config,
+                                   support::Rng& rng);
+
+/// A pure streaming trace (every line touched once, in order): the
+/// worst case for caching, useful as a degenerate test input.
+[[nodiscard]] Trace sequential_trace(std::uint64_t lines);
+
+/// Zipf-popularity trace: line i is accessed with probability proportional
+/// to 1 / (i + 1)^exponent — the classic skewed-popularity model whose
+/// miss curves decay smoothly instead of exhibiting pool-sized knees.
+struct ZipfTraceConfig {
+  std::uint64_t lines = 1024;
+  double exponent = 1.0;  ///< > 0; larger = more concentrated.
+  std::size_t length = 100000;
+};
+
+[[nodiscard]] Trace generate_zipf_trace(const ZipfTraceConfig& config,
+                                        support::Rng& rng);
+
+}  // namespace aa::cachesim

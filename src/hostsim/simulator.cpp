@@ -1,0 +1,135 @@
+#include "hostsim/simulator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+namespace aa::hostsim {
+
+namespace {
+
+enum class EventType { kArrival, kDeparture };
+
+struct Event {
+  double time;
+  EventType type;
+  std::size_t thread;
+  bool operator>(const Event& other) const noexcept {
+    if (time != other.time) return time > other.time;
+    // Departures before arrivals at identical stamps keeps queues minimal;
+    // thread index last for determinism.
+    if (type != other.type) return type == EventType::kArrival;
+    return thread > other.thread;
+  }
+};
+
+struct ThreadState {
+  double service_rate = 0.0;
+  double arrival_rate = 0.0;
+  std::deque<double> queue;  ///< Arrival times of waiting/served requests.
+  bool busy = false;
+  double service_start = 0.0;
+};
+
+}  // namespace
+
+SimulationResult simulate_hosting(const core::Instance& instance,
+                                  const core::Assignment& assignment,
+                                  const ServiceConfig& config) {
+  const std::size_t n = instance.num_threads();
+  if (assignment.server.size() != n || assignment.alloc.size() != n) {
+    throw std::invalid_argument("hostsim: assignment size mismatch");
+  }
+  if (config.arrival_rates.size() != n) {
+    throw std::invalid_argument("hostsim: arrival rate per thread required");
+  }
+  if (config.horizon <= 0.0 || config.warmup < 0.0 ||
+      config.warmup >= config.horizon) {
+    throw std::invalid_argument("hostsim: need 0 <= warmup < horizon");
+  }
+  for (const double rate : config.arrival_rates) {
+    if (rate < 0.0) throw std::invalid_argument("hostsim: negative rate");
+  }
+
+  support::Rng rng(config.seed);
+  std::vector<ThreadState> threads(n);
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  for (std::size_t i = 0; i < n; ++i) {
+    threads[i].service_rate =
+        instance.threads[i]->value(assignment.alloc[i]);
+    threads[i].arrival_rate = config.arrival_rates[i];
+    if (threads[i].arrival_rate > 0.0) {
+      events.push({rng.exponential() / threads[i].arrival_rate,
+                   EventType::kArrival, i});
+    }
+  }
+
+  SimulationResult result;
+  result.per_thread.resize(n);
+  result.measured_span = config.horizon - config.warmup;
+
+  auto measured_overlap = [&](double start, double end) {
+    const double lo = std::max(start, config.warmup);
+    const double hi = std::min(end, config.horizon);
+    return std::max(0.0, hi - lo);
+  };
+
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+    if (event.time > config.horizon) break;
+    ThreadState& state = threads[event.thread];
+    ThreadMetrics& metrics = result.per_thread[event.thread];
+
+    switch (event.type) {
+      case EventType::kArrival: {
+        if (event.time >= config.warmup) ++metrics.arrivals;
+        state.queue.push_back(event.time);
+        events.push({event.time + rng.exponential() / state.arrival_rate,
+                     EventType::kArrival, event.thread});
+        if (!state.busy && state.service_rate > 0.0) {
+          state.busy = true;
+          state.service_start = event.time;
+          events.push({event.time + rng.exponential() / state.service_rate,
+                       EventType::kDeparture, event.thread});
+        }
+        break;
+      }
+      case EventType::kDeparture: {
+        const double arrived = state.queue.front();
+        state.queue.pop_front();
+        metrics.busy_time += measured_overlap(state.service_start, event.time);
+        if (event.time >= config.warmup) {
+          ++metrics.completions;
+          ++result.total_completions;
+          const double sojourn = event.time - arrived;
+          metrics.sojourn.add(sojourn);
+          result.sojourn_all.add(sojourn);
+          if (config.collect_samples) {
+            result.sojourn_samples.push_back(sojourn);
+          }
+        }
+        if (!state.queue.empty()) {
+          state.service_start = event.time;
+          events.push({event.time + rng.exponential() / state.service_rate,
+                       EventType::kDeparture, event.thread});
+        } else {
+          state.busy = false;
+        }
+        break;
+      }
+    }
+  }
+
+  // Account for services still in flight at the horizon.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (threads[i].busy) {
+      result.per_thread[i].busy_time +=
+          measured_overlap(threads[i].service_start, config.horizon);
+    }
+  }
+  return result;
+}
+
+}  // namespace aa::hostsim

@@ -1,0 +1,197 @@
+#include "io/instance_io.hpp"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+namespace aa::io {
+
+namespace {
+
+using support::JsonValue;
+
+JsonValue thread_to_json(const util::UtilityFunction& f) {
+  JsonValue node;
+  if (const auto* power = dynamic_cast<const util::PowerUtility*>(&f)) {
+    node.set("type", "power");
+    node.set("scale", power->scale());
+    node.set("beta", power->beta());
+    return node;
+  }
+  if (const auto* capped =
+          dynamic_cast<const util::CappedLinearUtility*>(&f)) {
+    node.set("type", "capped_linear");
+    node.set("slope", capped->slope());
+    node.set("cap", capped->cap());
+    return node;
+  }
+  if (const auto* log = dynamic_cast<const util::LogUtility*>(&f)) {
+    node.set("type", "log");
+    node.set("scale", log->scale());
+    node.set("rate", log->rate());
+    return node;
+  }
+  // Everything else (tabulated, piecewise, wrappers) round-trips through a
+  // full-resolution tabulation of its own domain.
+  JsonValue::Array values;
+  for (util::Resource k = 0; k <= f.capacity(); ++k) {
+    values.emplace_back(f.value(static_cast<double>(k)));
+  }
+  node.set("type", "tabulated");
+  node.set("values", JsonValue(std::move(values)));
+  return node;
+}
+
+util::UtilityPtr thread_from_json(const JsonValue& node,
+                                  util::Resource capacity) {
+  const std::string& type = node.at("type").as_string();
+  if (type == "power") {
+    return std::make_shared<util::PowerUtility>(
+        node.at("scale").as_number(), node.at("beta").as_number(), capacity);
+  }
+  if (type == "capped_linear") {
+    return std::make_shared<util::CappedLinearUtility>(
+        node.at("slope").as_number(), node.at("cap").as_number(), capacity);
+  }
+  if (type == "log") {
+    return std::make_shared<util::LogUtility>(
+        node.at("scale").as_number(), node.at("rate").as_number(), capacity);
+  }
+  if (type == "piecewise") {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const JsonValue& x : node.at("xs").as_array()) {
+      xs.push_back(x.as_number());
+    }
+    for (const JsonValue& y : node.at("ys").as_array()) {
+      ys.push_back(y.as_number());
+    }
+    return std::make_shared<util::PiecewiseLinearUtility>(std::move(xs),
+                                                          std::move(ys));
+  }
+  if (type == "tabulated") {
+    std::vector<double> values;
+    for (const JsonValue& v : node.at("values").as_array()) {
+      values.push_back(v.as_number());
+    }
+    return std::make_shared<util::TabulatedUtility>(std::move(values));
+  }
+  throw std::runtime_error("instance: unknown utility type '" + type + "'");
+}
+
+}  // namespace
+
+JsonValue instance_to_json(const core::Instance& instance) {
+  JsonValue document;
+  document.set("num_servers", instance.num_servers);
+  document.set("capacity", instance.capacity);
+  JsonValue::Array threads;
+  threads.reserve(instance.num_threads());
+  for (const auto& thread : instance.threads) {
+    threads.push_back(thread_to_json(*thread));
+  }
+  document.set("threads", JsonValue(std::move(threads)));
+  return document;
+}
+
+core::Instance instance_from_json(const JsonValue& document) {
+  core::Instance instance;
+  const std::int64_t servers = document.at("num_servers").as_int();
+  if (servers <= 0) {
+    throw std::runtime_error("instance: num_servers must be positive");
+  }
+  instance.num_servers = static_cast<std::size_t>(servers);
+  instance.capacity = document.at("capacity").as_int();
+  for (const JsonValue& node : document.at("threads").as_array()) {
+    instance.threads.push_back(thread_from_json(node, instance.capacity));
+  }
+  instance.validate();
+  return instance;
+}
+
+JsonValue hetero_instance_to_json(const core::HeteroInstance& instance) {
+  JsonValue document;
+  JsonValue::Array capacities;
+  for (const util::Resource c : instance.capacities) capacities.emplace_back(c);
+  document.set("capacities", JsonValue(std::move(capacities)));
+  JsonValue::Array threads;
+  threads.reserve(instance.num_threads());
+  for (const auto& thread : instance.threads) {
+    threads.push_back(thread_to_json(*thread));
+  }
+  document.set("threads", JsonValue(std::move(threads)));
+  return document;
+}
+
+core::HeteroInstance hetero_instance_from_json(const JsonValue& document) {
+  core::HeteroInstance instance;
+  for (const JsonValue& c : document.at("capacities").as_array()) {
+    instance.capacities.push_back(c.as_int());
+  }
+  const util::Resource max_cap = instance.max_capacity();
+  for (const JsonValue& node : document.at("threads").as_array()) {
+    instance.threads.push_back(thread_from_json(node, max_cap));
+  }
+  instance.validate();
+  return instance;
+}
+
+bool is_hetero_document(const JsonValue& document) {
+  return document.is_object() && document.find("capacities") != nullptr;
+}
+
+JsonValue assignment_to_json(const core::Instance& instance,
+                             const core::Assignment& assignment) {
+  JsonValue document;
+  JsonValue::Array server;
+  JsonValue::Array alloc;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    server.emplace_back(assignment.server[i]);
+    alloc.emplace_back(assignment.alloc[i]);
+  }
+  document.set("server", JsonValue(std::move(server)));
+  document.set("alloc", JsonValue(std::move(alloc)));
+  document.set("utility", core::total_utility(instance, assignment));
+  return document;
+}
+
+core::Assignment assignment_from_json(const JsonValue& document) {
+  core::Assignment assignment;
+  for (const JsonValue& s : document.at("server").as_array()) {
+    const std::int64_t index = s.as_int();
+    if (index < 0) throw std::runtime_error("assignment: negative server");
+    assignment.server.push_back(static_cast<std::size_t>(index));
+  }
+  for (const JsonValue& a : document.at("alloc").as_array()) {
+    assignment.alloc.push_back(a.as_number());
+  }
+  if (assignment.server.size() != assignment.alloc.size()) {
+    throw std::runtime_error("assignment: server/alloc arity mismatch");
+  }
+  return assignment;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << contents;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+core::Instance load_instance(const std::string& path) {
+  return instance_from_json(support::json_parse(read_file(path)));
+}
+
+void save_instance(const core::Instance& instance, const std::string& path) {
+  write_file(path, instance_to_json(instance).dump(2) + "\n");
+}
+
+}  // namespace aa::io

@@ -1,0 +1,69 @@
+#pragma once
+
+// JSON (de)serialization for AA instances and assignments, so instances can
+// be generated, archived, and solved by separate processes (see the aa_gen
+// and aa_solve tools).
+//
+// Instance document:
+//   {
+//     "num_servers": 8,
+//     "capacity": 1000,
+//     "threads": [
+//       {"type": "power", "scale": 1.0, "beta": 0.5},
+//       {"type": "capped_linear", "slope": 2.0, "cap": 40.0},
+//       {"type": "log", "scale": 3.0, "rate": 0.1},
+//       {"type": "piecewise", "xs": [0, 10, 20], "ys": [0, 5, 7]},
+//       {"type": "tabulated", "values": [0, 1.5, 2.5, 3.0]}
+//     ]
+//   }
+//
+// Thread capacities are implied by the instance capacity for the analytic
+// families; "tabulated"/"piecewise" carry their own domain, which must
+// cover the instance capacity (Instance::validate enforces this on load).
+//
+// Assignment document:
+//   {"server": [0, 1, 0], "alloc": [40, 100, 60], "utility": 123.4}
+
+#include <string>
+
+#include "aa/heterogeneous.hpp"
+#include "aa/problem.hpp"
+#include "support/json.hpp"
+
+namespace aa::io {
+
+/// Serializes an instance (analytic utilities keep their parameters;
+/// everything else is tabulated on the integer grid).
+[[nodiscard]] support::JsonValue instance_to_json(
+    const core::Instance& instance);
+
+/// Parses and validates an instance document. Throws std::runtime_error /
+/// support::JsonError with a descriptive message on malformed input.
+[[nodiscard]] core::Instance instance_from_json(
+    const support::JsonValue& document);
+
+[[nodiscard]] support::JsonValue assignment_to_json(
+    const core::Instance& instance, const core::Assignment& assignment);
+
+[[nodiscard]] core::Assignment assignment_from_json(
+    const support::JsonValue& document);
+
+/// Heterogeneous instances use the same document with a "capacities"
+/// array instead of "num_servers"/"capacity" (thread domains must cover
+/// the largest server):
+///   {"capacities": [512, 512, 128], "threads": [...]}
+[[nodiscard]] support::JsonValue hetero_instance_to_json(
+    const core::HeteroInstance& instance);
+[[nodiscard]] core::HeteroInstance hetero_instance_from_json(
+    const support::JsonValue& document);
+
+/// True when the document carries per-server capacities.
+[[nodiscard]] bool is_hetero_document(const support::JsonValue& document);
+
+/// File helpers (throw std::runtime_error on I/O failure).
+[[nodiscard]] core::Instance load_instance(const std::string& path);
+void save_instance(const core::Instance& instance, const std::string& path);
+[[nodiscard]] std::string read_file(const std::string& path);
+void write_file(const std::string& path, const std::string& contents);
+
+}  // namespace aa::io

@@ -1,0 +1,60 @@
+#pragma once
+
+// Monte-Carlo experiment runner reproducing the paper's measurement
+// protocol (Section VII): for each parameter point, run `trials`
+// independent random instances, solve each with Algorithm 2 and the four
+// heuristics, and report the mean of Algorithm 2's utility divided by each
+// competitor's utility (SO, the super-optimal bound, included — that ratio
+// is <= 1 while the heuristic ratios are >= 1 in expectation).
+//
+// Trials are farmed out to a thread pool; each trial seeds its own Rng from
+// (base_seed, trial index), so the numbers are independent of the worker
+// count and schedule.
+
+#include <array>
+#include <cstddef>
+
+#include "sim/workload.hpp"
+#include "support/stats.hpp"
+#include "support/thread_pool.hpp"
+
+namespace aa::sim {
+
+/// Competitor indices within RatioPoint::ratio.
+enum CompetitorIndex : std::size_t {
+  kVsSuperOptimal = 0,
+  kVsUU = 1,
+  kVsUR = 2,
+  kVsRU = 3,
+  kVsRR = 4,
+  kNumCompetitors = 5,
+};
+
+/// Aggregated ratios for one parameter point.
+struct RatioPoint {
+  std::array<support::RunningStats, kNumCompetitors> ratio;
+};
+
+/// Raw per-trial utilities, exposed for tests and ablations.
+struct TrialUtilities {
+  double algorithm2 = 0.0;
+  double super_optimal = 0.0;
+  double uu = 0.0;
+  double ur = 0.0;
+  double ru = 0.0;
+  double rr = 0.0;
+};
+
+/// Runs a single trial with the given seed derivation.
+[[nodiscard]] TrialUtilities run_trial(const WorkloadConfig& config,
+                                       std::uint64_t base_seed,
+                                       std::uint64_t trial_index);
+
+/// Runs `trials` trials in parallel on `pool` (nullptr = global pool) and
+/// aggregates the ratios.
+[[nodiscard]] RatioPoint run_point(const WorkloadConfig& config,
+                                   std::size_t trials,
+                                   std::uint64_t base_seed,
+                                   support::ThreadPool* pool = nullptr);
+
+}  // namespace aa::sim

@@ -1,0 +1,101 @@
+#include "sim/figures.hpp"
+
+namespace aa::sim {
+
+namespace {
+
+const std::vector<std::string> kHeaders = {
+    "param",   "Alg2/SO", "Alg2/UU", "Alg2/UR", "Alg2/RU", "Alg2/RR",
+    "se(SO)",  "se(UU)",  "se(UR)",  "se(RU)",  "se(RR)"};
+
+void add_point_row(support::Table& table, double param,
+                   const RatioPoint& point) {
+  table.add_row_numeric(
+      {param, point.ratio[kVsSuperOptimal].mean(), point.ratio[kVsUU].mean(),
+       point.ratio[kVsUR].mean(), point.ratio[kVsRU].mean(),
+       point.ratio[kVsRR].mean(), point.ratio[kVsSuperOptimal].stderr_mean(),
+       point.ratio[kVsUU].stderr_mean(), point.ratio[kVsUR].stderr_mean(),
+       point.ratio[kVsRU].stderr_mean(), point.ratio[kVsRR].stderr_mean()});
+}
+
+WorkloadConfig base_config(const support::DistributionParams& dist,
+                           const SweepOptions& options) {
+  WorkloadConfig config;
+  config.dist = dist;
+  config.num_servers = options.num_servers;
+  config.capacity = options.capacity;
+  return config;
+}
+
+}  // namespace
+
+std::vector<double> default_betas() {
+  std::vector<double> betas;
+  for (int b = 1; b <= 15; ++b) betas.push_back(static_cast<double>(b));
+  return betas;
+}
+
+support::Table sweep_beta(const support::DistributionParams& dist,
+                          std::vector<double> betas,
+                          const SweepOptions& options) {
+  if (betas.empty()) betas = default_betas();
+  support::Table table(kHeaders);
+  WorkloadConfig config = base_config(dist, options);
+  for (const double beta : betas) {
+    config.beta = beta;
+    add_point_row(table, beta,
+                  run_point(config, options.trials, options.base_seed));
+  }
+  return table;
+}
+
+support::Table sweep_powerlaw_alpha(std::vector<double> alphas, double beta,
+                                    const SweepOptions& options) {
+  support::Table table(kHeaders);
+  support::DistributionParams dist;
+  dist.kind = support::DistributionKind::kPowerLaw;
+  WorkloadConfig config = base_config(dist, options);
+  config.beta = beta;
+  for (const double alpha : alphas) {
+    config.dist.alpha = alpha;
+    add_point_row(table, alpha,
+                  run_point(config, options.trials, options.base_seed));
+  }
+  return table;
+}
+
+support::Table sweep_discrete_gamma(std::vector<double> gammas, double beta,
+                                    double theta,
+                                    const SweepOptions& options) {
+  support::Table table(kHeaders);
+  support::DistributionParams dist;
+  dist.kind = support::DistributionKind::kDiscrete;
+  dist.theta = theta;
+  WorkloadConfig config = base_config(dist, options);
+  config.beta = beta;
+  for (const double gamma : gammas) {
+    config.dist.gamma = gamma;
+    add_point_row(table, gamma,
+                  run_point(config, options.trials, options.base_seed));
+  }
+  return table;
+}
+
+support::Table sweep_discrete_theta(std::vector<double> thetas, double beta,
+                                    double gamma,
+                                    const SweepOptions& options) {
+  support::Table table(kHeaders);
+  support::DistributionParams dist;
+  dist.kind = support::DistributionKind::kDiscrete;
+  dist.gamma = gamma;
+  WorkloadConfig config = base_config(dist, options);
+  config.beta = beta;
+  for (const double theta : thetas) {
+    config.dist.theta = theta;
+    add_point_row(table, theta,
+                  run_point(config, options.trials, options.base_seed));
+  }
+  return table;
+}
+
+}  // namespace aa::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+// Figure sweep drivers: each function regenerates the series of one paper
+// figure as a table (parameter column + one ratio column per competitor).
+// The bench binaries print these with the paper's trial count (1000);
+// tests run them with small counts for speed.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "support/table.hpp"
+
+namespace aa::sim {
+
+struct SweepOptions {
+  std::size_t trials = 1000;
+  std::uint64_t base_seed = 20160523;  ///< IPDPS 2016 opening day.
+  std::size_t num_servers = 8;
+  util::Resource capacity = 1000;
+};
+
+/// Figures 1(a), 1(b), 2(a), 3(a): sweep beta = n/m with a fixed
+/// distribution. `betas` defaults (empty vector) to the paper's 1..15.
+[[nodiscard]] support::Table sweep_beta(
+    const support::DistributionParams& dist, std::vector<double> betas,
+    const SweepOptions& options);
+
+/// Figure 2(b): power law, fixed beta, sweep alpha.
+[[nodiscard]] support::Table sweep_powerlaw_alpha(
+    std::vector<double> alphas, double beta, const SweepOptions& options);
+
+/// Figure 3(b): discrete, fixed beta/theta, sweep gamma.
+[[nodiscard]] support::Table sweep_discrete_gamma(
+    std::vector<double> gammas, double beta, double theta,
+    const SweepOptions& options);
+
+/// Figure 3(c): discrete, fixed beta/gamma, sweep theta.
+[[nodiscard]] support::Table sweep_discrete_theta(
+    std::vector<double> thetas, double beta, double gamma,
+    const SweepOptions& options);
+
+/// The paper's default beta grid, 1..15.
+[[nodiscard]] std::vector<double> default_betas();
+
+}  // namespace aa::sim

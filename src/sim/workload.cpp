@@ -1,0 +1,26 @@
+#include "sim/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aa::sim {
+
+std::size_t WorkloadConfig::num_threads() const {
+  if (beta <= 0.0) throw std::invalid_argument("workload: beta must be > 0");
+  return static_cast<std::size_t>(
+      std::llround(beta * static_cast<double>(num_servers)));
+}
+
+core::Instance generate_instance(const WorkloadConfig& config,
+                                 support::Rng& rng) {
+  core::Instance instance;
+  instance.num_servers = config.num_servers;
+  instance.capacity = config.capacity;
+  instance.threads = util::generate_utilities(config.num_threads(),
+                                              config.capacity, config.dist,
+                                              rng);
+  instance.validate();
+  return instance;
+}
+
+}  // namespace aa::sim

@@ -1,0 +1,30 @@
+#pragma once
+
+// Workload generation for the paper's evaluation (Section VII): an AA
+// instance whose threads carry random concave utilities drawn from one of
+// the four distributions, with the paper's defaults m = 8, C = 1000 and
+// beta = n / m threads per server.
+
+#include <cstddef>
+
+#include "aa/problem.hpp"
+#include "support/distributions.hpp"
+#include "support/prng.hpp"
+#include "utility/generator.hpp"
+
+namespace aa::sim {
+
+struct WorkloadConfig {
+  support::DistributionParams dist;
+  std::size_t num_servers = 8;
+  util::Resource capacity = 1000;
+  double beta = 5.0;  ///< Average threads per server; n = round(beta * m).
+
+  [[nodiscard]] std::size_t num_threads() const;
+};
+
+/// Generates one random AA instance according to the config.
+[[nodiscard]] core::Instance generate_instance(const WorkloadConfig& config,
+                                               support::Rng& rng);
+
+}  // namespace aa::sim

@@ -1,0 +1,72 @@
+#include "support/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aa::support {
+
+namespace {
+
+double draw_truncated_normal(double mean, double stddev, Rng& rng) {
+  // Rejection against x < 0. With mean 1, sd 1 (the paper's setting) the
+  // acceptance probability is ~0.84, so resampling is cheap.
+  for (;;) {
+    const double x = rng.normal(mean, stddev);
+    if (x >= 0.0) return x;
+  }
+}
+
+double draw_pareto(double alpha, double x_min, Rng& rng) {
+  // Inverse CDF: x = x_min * (1 - U)^(-1/(alpha-1)) for density ~ x^-alpha.
+  // The survival function of a density c*x^-alpha on [x_min, inf) is
+  // (x/x_min)^(1-alpha), so F^-1(u) = x_min * (1-u)^(1/(1-alpha)).
+  const double u = rng.uniform01();
+  return x_min * std::pow(1.0 - u, 1.0 / (1.0 - alpha));
+}
+
+}  // namespace
+
+double draw(const DistributionParams& params, Rng& rng) {
+  switch (params.kind) {
+    case DistributionKind::kUniform:
+      return rng.uniform01();
+    case DistributionKind::kNormal:
+      return draw_truncated_normal(params.mean, params.stddev, rng);
+    case DistributionKind::kPowerLaw:
+      if (params.alpha <= 1.0) {
+        throw std::invalid_argument("power law requires alpha > 1");
+      }
+      return draw_pareto(params.alpha, params.x_min, rng);
+    case DistributionKind::kDiscrete:
+      return rng.uniform01() < params.gamma ? params.low
+                                            : params.low * params.theta;
+  }
+  throw std::logic_error("unknown distribution kind");
+}
+
+std::pair<double, double> draw_ordered_pair(const DistributionParams& params,
+                                            Rng& rng) {
+  const double a = draw(params, rng);
+  const double b = draw(params, rng);
+  return {std::max(a, b), std::min(a, b)};
+}
+
+std::vector<double> simplex_spacings(std::size_t k, double total, Rng& rng) {
+  if (k == 0) return {};
+  if (total < 0.0) throw std::invalid_argument("simplex total must be >= 0");
+  if (k == 1) return {total};
+  std::vector<double> cuts(k - 1);
+  for (auto& c : cuts) c = rng.uniform(0.0, total);
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<double> parts(k);
+  double prev = 0.0;
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    parts[i] = cuts[i] - prev;
+    prev = cuts[i];
+  }
+  parts[k - 1] = total - prev;
+  return parts;
+}
+
+}  // namespace aa::support

@@ -1,0 +1,56 @@
+#pragma once
+
+// Random value distributions used by the paper's utility-function generator
+// (Section VII) and by the heuristics' random allocations.
+//
+// The paper draws two values v, w from a distribution H conditioned on
+// w <= v; DrawOrderedPair implements that by sorting an i.i.d. pair, which is
+// exactly conditioning for continuous H and the natural analogue for the
+// discrete one.
+
+#include <utility>
+#include <vector>
+
+#include "support/prng.hpp"
+
+namespace aa::support {
+
+/// One of the four H distributions from Section VII.
+enum class DistributionKind {
+  kUniform,    ///< Uniform on [0, 1).
+  kNormal,     ///< Normal(mean, sd) truncated to x >= 0 by resampling.
+  kPowerLaw,   ///< Pareto: density ~ x^-alpha on [x_min, inf), alpha > 1.
+  kDiscrete,   ///< Two-point: value `low` w.p. gamma, `high = theta*low` else.
+};
+
+/// Parameter bundle covering all four families; unused fields are ignored.
+struct DistributionParams {
+  DistributionKind kind = DistributionKind::kUniform;
+  // kNormal
+  double mean = 1.0;
+  double stddev = 1.0;
+  // kPowerLaw
+  double alpha = 2.0;
+  double x_min = 1.0;
+  // kDiscrete
+  double gamma = 0.85;  ///< Probability of the low value.
+  double theta = 5.0;   ///< Ratio high / low.
+  double low = 1.0;
+};
+
+/// Draws a single nonnegative value from the configured distribution.
+[[nodiscard]] double draw(const DistributionParams& params, Rng& rng);
+
+/// Draws the paper's (v, w) pair: two i.i.d. values, returned with
+/// first >= second (i.e. v >= w).
+[[nodiscard]] std::pair<double, double> draw_ordered_pair(
+    const DistributionParams& params, Rng& rng);
+
+/// Uniform sample from the scaled simplex: k nonnegative values summing to
+/// `total`, distributed as the spacings of k-1 i.i.d. uniform order
+/// statistics on [0, total]. Used by the UR/RR heuristics' random
+/// allocations. Returns an empty vector for k == 0.
+[[nodiscard]] std::vector<double> simplex_spacings(std::size_t k, double total,
+                                                   Rng& rng);
+
+}  // namespace aa::support

@@ -1,0 +1,49 @@
+#pragma once
+
+// Fenwick (binary indexed) tree over int64 counts. Used by the cache
+// simulator's Mattson stack-distance engine to count distinct cache lines
+// touched between consecutive accesses to the same line in O(log N).
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace aa::support {
+
+class FenwickTree {
+ public:
+  explicit FenwickTree(std::size_t size) : tree_(size + 1, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return tree_.size() - 1; }
+
+  /// Adds `delta` at 0-based position `pos`.
+  void add(std::size_t pos, std::int64_t delta) {
+    if (pos >= size()) throw std::out_of_range("fenwick: position");
+    for (std::size_t i = pos + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  /// Sum of positions [0, pos] (0-based, inclusive).
+  [[nodiscard]] std::int64_t prefix_sum(std::size_t pos) const {
+    if (pos >= size()) throw std::out_of_range("fenwick: position");
+    std::int64_t sum = 0;
+    for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1)) {
+      sum += tree_[i];
+    }
+    return sum;
+  }
+
+  /// Sum of positions [lo, hi] (inclusive); 0 when lo > hi.
+  [[nodiscard]] std::int64_t range_sum(std::size_t lo, std::size_t hi) const {
+    if (lo > hi) return 0;
+    const std::int64_t upper = prefix_sum(hi);
+    return lo == 0 ? upper : upper - prefix_sum(lo - 1);
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace aa::support

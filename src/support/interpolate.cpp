@@ -1,0 +1,153 @@
+#include "support/interpolate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aa::support {
+
+namespace {
+
+/// Fritsch-Carlson knot slopes: weighted harmonic mean of adjacent secant
+/// slopes when they have the same sign, zero otherwise (preserving
+/// monotonicity of the data).
+std::vector<double> fritsch_carlson_slopes(std::span<const double> xs,
+                                           std::span<const double> ys) {
+  const std::size_t n = xs.size();
+  std::vector<double> h(n - 1);
+  std::vector<double> delta(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    h[i] = xs[i + 1] - xs[i];
+    delta[i] = (ys[i + 1] - ys[i]) / h[i];
+  }
+  std::vector<double> d(n, 0.0);
+  if (n == 2) {
+    d[0] = d[1] = delta[0];
+    return d;
+  }
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    if (delta[i - 1] * delta[i] <= 0.0) {
+      d[i] = 0.0;
+    } else {
+      // Brodlie's weighted harmonic mean, as used by Matlab's pchip.
+      const double w1 = 2.0 * h[i] + h[i - 1];
+      const double w2 = h[i] + 2.0 * h[i - 1];
+      d[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+    }
+  }
+  // One-sided three-point endpoint formulas with sign/magnitude limiting.
+  auto endpoint = [](double h0, double h1, double d0, double d1) {
+    double slope = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+    if (slope * d0 <= 0.0) {
+      slope = 0.0;
+    } else if (d0 * d1 <= 0.0 && std::abs(slope) > 3.0 * std::abs(d0)) {
+      slope = 3.0 * d0;
+    }
+    return slope;
+  };
+  d[0] = endpoint(h[0], h[1], delta[0], delta[1]);
+  d[n - 1] = endpoint(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
+  return d;
+}
+
+}  // namespace
+
+PchipInterpolant::PchipInterpolant(std::span<const double> xs,
+                                   std::span<const double> ys)
+    : xs_(xs.begin(), xs.end()), ys_(ys.begin(), ys.end()) {
+  if (xs_.size() != ys_.size()) {
+    throw std::invalid_argument("pchip: xs and ys size mismatch");
+  }
+  if (xs_.size() < 2) {
+    throw std::invalid_argument("pchip: need at least two knots");
+  }
+  if (!std::is_sorted(xs_.begin(), xs_.end()) ||
+      std::adjacent_find(xs_.begin(), xs_.end()) != xs_.end()) {
+    throw std::invalid_argument("pchip: xs must be strictly increasing");
+  }
+  slopes_ = fritsch_carlson_slopes(xs_, ys_);
+}
+
+std::size_t PchipInterpolant::interval_of(double x) const noexcept {
+  // Largest i with xs_[i] <= x, clamped to a valid interval start.
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const auto idx = static_cast<std::size_t>(
+      std::max<std::ptrdiff_t>(1, it - xs_.begin()) - 1);
+  return std::min(idx, xs_.size() - 2);
+}
+
+double PchipInterpolant::operator()(double x) const noexcept {
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const std::size_t i = interval_of(x);
+  const double h = xs_[i + 1] - xs_[i];
+  const double t = (x - xs_[i]) / h;
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  const double h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+  const double h10 = t3 - 2.0 * t2 + t;
+  const double h01 = -2.0 * t3 + 3.0 * t2;
+  const double h11 = t3 - t2;
+  return h00 * ys_[i] + h10 * h * slopes_[i] + h01 * ys_[i + 1] +
+         h11 * h * slopes_[i + 1];
+}
+
+double PchipInterpolant::derivative(double x) const noexcept {
+  if (x <= xs_.front()) return slopes_.front();
+  if (x >= xs_.back()) return slopes_.back();
+  const std::size_t i = interval_of(x);
+  const double h = xs_[i + 1] - xs_[i];
+  const double t = (x - xs_[i]) / h;
+  const double t2 = t * t;
+  const double dh00 = (6.0 * t2 - 6.0 * t) / h;
+  const double dh10 = 3.0 * t2 - 4.0 * t + 1.0;
+  const double dh01 = (-6.0 * t2 + 6.0 * t) / h;
+  const double dh11 = 3.0 * t2 - 2.0 * t;
+  return dh00 * ys_[i] + dh10 * slopes_[i] + dh01 * ys_[i + 1] +
+         dh11 * slopes_[i + 1];
+}
+
+namespace {
+
+std::vector<double> pav_impl(std::span<const double> values, bool increasing) {
+  // Blocks of pooled values; each block stores (mean, count).
+  struct Block {
+    double sum;
+    std::size_t count;
+    [[nodiscard]] double mean() const {
+      return sum / static_cast<double>(count);
+    }
+  };
+  std::vector<Block> blocks;
+  blocks.reserve(values.size());
+  auto violates = [increasing](const Block& a, const Block& b) {
+    return increasing ? a.mean() > b.mean() : a.mean() < b.mean();
+  };
+  for (const double v : values) {
+    blocks.push_back({v, 1});
+    while (blocks.size() >= 2 &&
+           violates(blocks[blocks.size() - 2], blocks.back())) {
+      blocks[blocks.size() - 2].sum += blocks.back().sum;
+      blocks[blocks.size() - 2].count += blocks.back().count;
+      blocks.pop_back();
+    }
+  }
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const Block& b : blocks) {
+    out.insert(out.end(), b.count, b.mean());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> pav_nonincreasing(std::span<const double> values) {
+  return pav_impl(values, /*increasing=*/false);
+}
+
+std::vector<double> pav_nondecreasing(std::span<const double> values) {
+  return pav_impl(values, /*increasing=*/true);
+}
+
+}  // namespace aa::support

@@ -1,0 +1,57 @@
+#pragma once
+
+// Monotone cubic interpolation (PCHIP, Fritsch-Carlson 1980) and isotonic
+// regression (pool-adjacent-violators).
+//
+// The paper builds each random utility function by passing Matlab's PCHIP
+// through three generated points; this is our from-scratch equivalent. PAV is
+// used downstream to repair tiny concavity violations of the interpolant on
+// the integer resource grid (see utility/generated.cpp).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace aa::support {
+
+/// Piecewise cubic Hermite interpolant with Fritsch-Carlson slopes.
+///
+/// Guarantees: passes through every knot; monotone on every interval where
+/// the data are monotone; C^1 overall. (It does not guarantee concavity even
+/// for concave data, which is why callers that need concavity apply a PAV
+/// repair to sampled marginals.)
+class PchipInterpolant {
+ public:
+  /// Builds the interpolant. Requires xs strictly increasing and
+  /// xs.size() == ys.size() >= 2; throws std::invalid_argument otherwise.
+  PchipInterpolant(std::span<const double> xs, std::span<const double> ys);
+
+  /// Evaluates at x, clamping to the knot range (constant extrapolation of
+  /// the end values, which matches how utility functions are used on [0, C]).
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  /// First derivative at x (one-sided at knots, clamped range).
+  [[nodiscard]] double derivative(double x) const noexcept;
+
+  [[nodiscard]] std::span<const double> knots_x() const noexcept { return xs_; }
+  [[nodiscard]] std::span<const double> knots_y() const noexcept { return ys_; }
+
+ private:
+  [[nodiscard]] std::size_t interval_of(double x) const noexcept;
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> slopes_;  // Hermite endpoint derivatives at each knot.
+};
+
+/// Weighted isotonic regression with the pool-adjacent-violators algorithm.
+/// Returns the nonincreasing sequence minimizing the (unweighted) L2 distance
+/// to `values`. Used to project marginal-gain sequences onto the concave cone.
+[[nodiscard]] std::vector<double> pav_nonincreasing(
+    std::span<const double> values);
+
+/// Nondecreasing counterpart of pav_nonincreasing.
+[[nodiscard]] std::vector<double> pav_nondecreasing(
+    std::span<const double> values);
+
+}  // namespace aa::support

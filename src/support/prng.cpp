@@ -1,0 +1,41 @@
+#include "support/prng.hpp"
+
+#include <cmath>
+
+namespace aa::support {
+
+std::uint64_t Rng::uniform_below(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Rejection sampling over the top of the range to remove modulo bias.
+  const std::uint64_t threshold = (0ULL - n) % n;  // == 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = gen_();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = 2.0 * uniform01() - 1.0;
+    v = 2.0 * uniform01() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+double Rng::exponential() noexcept {
+  // -log(1 - U) with U in [0,1) keeps the argument strictly positive.
+  return -std::log1p(-uniform01());
+}
+
+}  // namespace aa::support

@@ -1,0 +1,121 @@
+#pragma once
+
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// The experiment harness re-runs the paper's Monte-Carlo trials across many
+// worker threads; every trial derives its own Rng from (base_seed, trial_id)
+// so results are bit-identical regardless of thread count or scheduling.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace aa::support {
+
+/// SplitMix64 stream; used to expand a single 64-bit seed into full state.
+/// Passes BigCrush when used directly; here it seeds Xoshiro256StarStar.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, 2^256-1 period.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from a SplitMix64 stream, per the authors'
+  /// recommendation (avoids the all-zero state for any seed).
+  explicit constexpr Xoshiro256StarStar(std::uint64_t seed) noexcept : state_{} {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Convenience wrapper bundling a generator with the floating-point and
+/// integer draws the library needs. All draws are deterministic functions of
+/// the seed, independent of platform libm (no std::normal_distribution, whose
+/// algorithm is implementation-defined).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : gen_(seed) {}
+
+  /// Derives an independent child stream; used for per-trial seeding.
+  /// Mixing through SplitMix64 decorrelates (seed, index) pairs.
+  [[nodiscard]] static Rng child(std::uint64_t base_seed,
+                                 std::uint64_t index) noexcept {
+    // Hash the base seed first so that (s, i+1) and (s+1, i) cannot land on
+    // the same stream, then mix the index through a second finalizer pass.
+    SplitMix64 base_mix(base_seed);
+    SplitMix64 combined(base_mix.next() + index);
+    return Rng(combined.next());
+  }
+
+  std::uint64_t next_u64() noexcept { return gen_(); }
+
+  /// Uniform in [0, 1). 53-bit resolution.
+  double uniform01() noexcept {
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [0, n). Unbiased via rejection (Lemire-style bound).
+  std::uint64_t uniform_below(std::uint64_t n) noexcept;
+
+  /// Standard normal via Marsaglia polar method (deterministic given seed).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with rate 1.
+  double exponential() noexcept;
+
+ private:
+  Xoshiro256StarStar gen_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace aa::support

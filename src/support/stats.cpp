@@ -1,0 +1,23 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aa::support {
+
+double quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) {
+    throw std::invalid_argument("quantile: no samples");
+  }
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile: q must be in [0, 1]");
+  }
+  std::sort(samples.begin(), samples.end());
+  const double position = q * static_cast<double>(samples.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  if (lower + 1 >= samples.size()) return samples.back();
+  const double fraction = position - static_cast<double>(lower);
+  return samples[lower] + fraction * (samples[lower + 1] - samples[lower]);
+}
+
+}  // namespace aa::support

@@ -1,0 +1,87 @@
+#pragma once
+
+// Streaming statistics used by the experiment harness to aggregate
+// Monte-Carlo trials.
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace aa::support {
+
+/// Welford's online mean/variance accumulator with min/max tracking.
+/// Numerically stable for long trial streams; mergeable across worker
+/// threads (Chan's parallel update).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merges another accumulator into this one (parallel reduction step).
+  void merge(const RunningStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// Standard error of the mean; 0 for fewer than two samples.
+  [[nodiscard]] double stderr_mean() const noexcept {
+    return count_ < 2 ? 0.0
+                      : stddev() / std::sqrt(static_cast<double>(count_));
+  }
+
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Empirical quantile with linear interpolation between order statistics
+/// (the "type 7" estimator used by R and NumPy). `q` in [0, 1]; throws
+/// std::invalid_argument on empty input or out-of-range q. Copies and
+/// sorts — intended for end-of-run reporting, not hot loops.
+[[nodiscard]] double quantile(std::vector<double> samples, double q);
+
+/// Approximate floating-point comparison with absolute + relative slack.
+[[nodiscard]] constexpr bool almost_equal(double a, double b,
+                                          double abs_tol = 1e-9,
+                                          double rel_tol = 1e-9) noexcept {
+  const double diff = a > b ? a - b : b - a;
+  const double mag = std::max(a > 0 ? a : -a, b > 0 ? b : -b);
+  return diff <= abs_tol || diff <= rel_tol * mag;
+}
+
+}  // namespace aa::support

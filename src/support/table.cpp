@@ -1,0 +1,98 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace aa::support {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("table needs at least one column");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("row width does not match header count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (const double v : cells) formatted.push_back(format_double(v, precision));
+  add_row(std::move(formatted));
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << "  ";
+      out << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) {
+        out << ' ';
+      }
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') escaped += '"';
+    escaped += ch;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << ',';
+      out << csv_escape(cells[c]);
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.to_text();
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+}  // namespace aa::support

@@ -1,0 +1,45 @@
+#pragma once
+
+// Minimal fixed-column table builder for the bench harness: prints the same
+// rows/series the paper's figures report, in aligned text or CSV.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aa::support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly one cell per header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::vector<double>& cells, int precision = 4);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return headers_.size();
+  }
+
+  /// Aligned, human-readable rendering.
+  [[nodiscard]] std::string to_text() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes the text rendering to the stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+[[nodiscard]] std::string format_double(double value, int precision = 4);
+
+}  // namespace aa::support

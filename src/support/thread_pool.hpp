@@ -1,0 +1,56 @@
+#pragma once
+
+// Fixed-size worker pool with a blocking task queue, plus a static-chunked
+// parallel_for used to fan the Monte-Carlo trials of the experiment harness
+// across cores. Determinism is preserved by seeding each loop index
+// independently (see support/prng.hpp), so the schedule never affects results.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace aa::support {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` threads; 0 means std::thread::hardware_concurrency()
+  /// (with a floor of 1).
+  explicit ThreadPool(std::size_t workers = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.size();
+  }
+
+  /// Enqueues a task; the returned future reports completion or exception.
+  std::future<void> submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [begin, end) across the pool with static chunking.
+/// Blocks until every index has completed; rethrows the first exception.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// Library-wide shared pool (lazily constructed, hardware-sized).
+[[nodiscard]] ThreadPool& global_pool();
+
+}  // namespace aa::support

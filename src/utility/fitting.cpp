@@ -1,0 +1,97 @@
+#include "utility/fitting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+namespace aa::util {
+
+UtilityPtr fit_concave_utility(std::span<const Sample> samples,
+                               Resource capacity, const FitOptions& options) {
+  if (capacity < 0) {
+    throw std::invalid_argument("fit: negative capacity");
+  }
+  // Average repeated measurements per distinct x (clamped into domain).
+  std::map<double, std::pair<double, std::size_t>> by_x;
+  for (const Sample& s : samples) {
+    if (s.x < 0.0 || s.x > static_cast<double>(capacity)) continue;
+    auto& [sum, count] = by_x[s.x];
+    sum += s.y;
+    ++count;
+  }
+  if (by_x.empty()) {
+    throw std::invalid_argument("fit: no samples inside [0, capacity]");
+  }
+
+  std::vector<double> xs;
+  std::vector<double> ys;
+  if (options.anchor_zero && by_x.begin()->first > 0.0) {
+    xs.push_back(0.0);
+    ys.push_back(0.0);
+  }
+  for (const auto& [x, acc] : by_x) {
+    xs.push_back(x);
+    ys.push_back(acc.first / static_cast<double>(acc.second));
+  }
+
+  // Piecewise-linear interpolation of the averaged points onto the grid,
+  // constant beyond the last sample.
+  std::vector<double> grid(static_cast<std::size_t>(capacity) + 1);
+  std::size_t segment = 0;
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    const double x = static_cast<double>(k);
+    while (segment + 1 < xs.size() && xs[segment + 1] < x) ++segment;
+    if (x <= xs.front()) {
+      grid[k] = ys.front();
+    } else if (x >= xs.back()) {
+      grid[k] = ys.back();
+    } else {
+      const double t = (x - xs[segment]) / (xs[segment + 1] - xs[segment]);
+      grid[k] = ys[segment] + t * (ys[segment + 1] - ys[segment]);
+    }
+  }
+
+  return std::make_shared<TabulatedUtility>(
+      TabulatedUtility::from_samples_with_repair(grid));
+}
+
+std::vector<Sample> measure_utility(const UtilityFunction& truth,
+                                    std::span<const Resource> levels,
+                                    std::size_t repeats, double noise_fraction,
+                                    support::Rng& rng) {
+  if (noise_fraction < 0.0) {
+    throw std::invalid_argument("measure: negative noise");
+  }
+  const double scale =
+      truth.value(static_cast<double>(truth.capacity())) * noise_fraction;
+  std::vector<Sample> samples;
+  samples.reserve(levels.size() * repeats);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    for (const Resource level : levels) {
+      const double x = static_cast<double>(level);
+      const double y = truth.value(x) + rng.normal(0.0, scale);
+      samples.push_back({x, std::max(0.0, y)});
+    }
+  }
+  return samples;
+}
+
+std::vector<Resource> even_levels(Resource capacity, std::size_t count) {
+  if (capacity <= 0 || count == 0) {
+    throw std::invalid_argument("even_levels: degenerate request");
+  }
+  std::vector<Resource> levels;
+  levels.reserve(count);
+  for (std::size_t i = 1; i <= count; ++i) {
+    const auto level = static_cast<Resource>(std::llround(
+        static_cast<double>(capacity) * static_cast<double>(i) /
+        static_cast<double>(count)));
+    levels.push_back(std::max<Resource>(1, level));
+  }
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  return levels;
+}
+
+}  // namespace aa::util

@@ -1,0 +1,63 @@
+#pragma once
+
+// Utility-curve estimation from noisy performance measurements.
+//
+// Section VIII (future work): "we would like to integrate online
+// performance measurements into our algorithms". In practice a thread's
+// utility curve is not given — it is measured by running the thread at a
+// few allocation levels (cache ways, memory shares) and observing noisy
+// throughput (cf. Qureshi & Patt [4]'s sampled miss-rate curves). This
+// module turns such samples into a valid concave AA utility:
+//
+//   1. samples at the same x are averaged;
+//   2. values are linearly interpolated onto the integer grid [0, C]
+//      (constant extrapolation beyond the sampled range; an optional
+//      anchor pins f(0) = 0, the physically common case);
+//   3. the grid marginals are projected onto the nonincreasing cone by
+//      pool-adjacent-violators, yielding the concave least-squares fit of
+//      the interpolated increments.
+//
+// bench/ext_measurement quantifies the end-to-end effect: how much AA
+// utility is lost when planning on fitted curves instead of true ones, as
+// a function of sample count and noise.
+
+#include <span>
+#include <vector>
+
+#include "support/prng.hpp"
+#include "utility/utility_function.hpp"
+
+namespace aa::util {
+
+/// One measurement: observed performance `y` at allocation `x`.
+struct Sample {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct FitOptions {
+  /// Pin f(0) = 0 even when no sample exists at x = 0 (default). When
+  /// false and no sample covers 0, the fit extrapolates the smallest
+  /// sampled value leftwards.
+  bool anchor_zero = true;
+};
+
+/// Fits a concave nondecreasing TabulatedUtility on [0, capacity] from
+/// noisy samples. Requires at least one sample with x inside [0, capacity];
+/// throws std::invalid_argument otherwise (or on negative capacity).
+[[nodiscard]] UtilityPtr fit_concave_utility(std::span<const Sample> samples,
+                                             Resource capacity,
+                                             const FitOptions& options = {});
+
+/// Simulates a measurement campaign: evaluates `truth` at `levels` with
+/// i.i.d. Gaussian relative noise (sd = noise_fraction * f(C)), clamped at
+/// zero. One sample per level per repeat.
+[[nodiscard]] std::vector<Sample> measure_utility(
+    const UtilityFunction& truth, std::span<const Resource> levels,
+    std::size_t repeats, double noise_fraction, support::Rng& rng);
+
+/// Convenience: `count` evenly spaced levels covering (0, capacity].
+[[nodiscard]] std::vector<Resource> even_levels(Resource capacity,
+                                                std::size_t count);
+
+}  // namespace aa::util

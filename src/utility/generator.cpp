@@ -1,0 +1,41 @@
+#include "utility/generator.hpp"
+
+#include <array>
+#include <memory>
+#include <stdexcept>
+
+#include "support/interpolate.hpp"
+
+namespace aa::util {
+
+UtilityPtr generate_utility(Resource capacity,
+                            const support::DistributionParams& dist,
+                            support::Rng& rng) {
+  if (capacity < 2) {
+    throw std::invalid_argument("generate_utility: capacity must be >= 2");
+  }
+  const auto [v, w] = support::draw_ordered_pair(dist, rng);
+  const double c = static_cast<double>(capacity);
+  const std::array<double, 3> xs{0.0, c / 2.0, c};
+  const std::array<double, 3> ys{0.0, v, v + w};
+  const support::PchipInterpolant pchip(xs, ys);
+  std::vector<double> samples(static_cast<std::size_t>(capacity) + 1);
+  for (std::size_t k = 0; k < samples.size(); ++k) {
+    samples[k] = pchip(static_cast<double>(k));
+  }
+  return std::make_shared<TabulatedUtility>(
+      TabulatedUtility::from_samples_with_repair(samples));
+}
+
+std::vector<UtilityPtr> generate_utilities(
+    std::size_t count, Resource capacity,
+    const support::DistributionParams& dist, support::Rng& rng) {
+  std::vector<UtilityPtr> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(generate_utility(capacity, dist, rng));
+  }
+  return out;
+}
+
+}  // namespace aa::util

@@ -1,0 +1,25 @@
+#include "utility/linearized.hpp"
+
+#include <stdexcept>
+
+namespace aa::util {
+
+std::vector<Linearized> linearize(const std::vector<UtilityPtr>& threads,
+                                  const std::vector<Resource>& c_hats) {
+  if (threads.size() != c_hats.size()) {
+    throw std::invalid_argument("linearize: thread/allocation size mismatch");
+  }
+  std::vector<Linearized> out;
+  out.reserve(threads.size());
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    if (c_hats[i] < 0) {
+      throw std::invalid_argument("linearize: negative allocation");
+    }
+    out.push_back(Linearized{
+        .cap = c_hats[i],
+        .peak = threads[i]->value(static_cast<double>(c_hats[i]))});
+  }
+  return out;
+}
+
+}  // namespace aa::util

@@ -1,0 +1,46 @@
+#pragma once
+
+// Two-segment linearization (paper Section V-A, Equation 1).
+//
+// Given a super-optimal allocation c_hat_i, each concave f_i is replaced by
+//
+//     g_i(x) = (x / c_hat_i) * f_i(c_hat_i)   for x <= c_hat_i
+//     g_i(x) = f_i(c_hat_i)                   for x >  c_hat_i
+//
+// which satisfies g_i <= f_i (Lemma V.4: the ramp lies below the concave
+// chord through (0, f_i(0)) and (c_hat_i, f_i(c_hat_i)) because f_i(0) >= 0).
+// Threads with c_hat_i = 0 degenerate to the constant g_i(x) = f_i(0).
+
+#include <vector>
+
+#include "utility/utility_function.hpp"
+
+namespace aa::util {
+
+/// One linearized utility: a ramp of the given slope up to `cap`, flat at
+/// `peak` beyond. Plain value type — Algorithms 1 and 2 operate on these.
+struct Linearized {
+  Resource cap = 0;   ///< c_hat_i (super-optimal allocation).
+  double peak = 0.0;  ///< g_i(c_hat_i) = f_i(c_hat_i).
+
+  /// g_i(x).
+  [[nodiscard]] double value(double x) const noexcept {
+    if (cap == 0 || x >= static_cast<double>(cap)) return peak;
+    if (x <= 0.0) return 0.0;
+    return peak * (x / static_cast<double>(cap));
+  }
+
+  /// Slope of the ramp segment, g_i(c_hat_i) / c_hat_i. Zero-cap threads
+  /// report 0 (they never compete for resources).
+  [[nodiscard]] double density() const noexcept {
+    return cap == 0 ? 0.0 : peak / static_cast<double>(cap);
+  }
+};
+
+/// Builds the linearized problem from the original utilities and a
+/// super-optimal allocation (c_hats[i] = c_hat_i).
+[[nodiscard]] std::vector<Linearized> linearize(
+    const std::vector<UtilityPtr>& threads,
+    const std::vector<Resource>& c_hats);
+
+}  // namespace aa::util

@@ -1,0 +1,232 @@
+#include "utility/utility_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "support/interpolate.hpp"
+
+namespace aa::util {
+
+double UtilityFunction::marginal(Resource k) const {
+  return value(static_cast<double>(k)) - value(static_cast<double>(k - 1));
+}
+
+bool is_valid_on_grid(const UtilityFunction& f, double tol) {
+  const Resource cap = f.capacity();
+  if (cap < 0) return false;
+  if (f.value(0.0) < -tol) return false;
+  double prev_marginal = std::numeric_limits<double>::infinity();
+  for (Resource k = 1; k <= cap; ++k) {
+    const double m = f.marginal(k);
+    if (m < -tol) return false;                // must be nondecreasing
+    if (m > prev_marginal + tol) return false; // marginals must not grow
+    prev_marginal = m;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// CappedLinearUtility
+// ---------------------------------------------------------------------------
+
+CappedLinearUtility::CappedLinearUtility(double slope, double cap,
+                                         Resource capacity)
+    : slope_(slope), cap_(cap), capacity_(capacity) {
+  if (slope < 0.0 || cap < 0.0 || capacity < 0) {
+    throw std::invalid_argument("capped linear: negative parameter");
+  }
+}
+
+double CappedLinearUtility::value(double x) const {
+  x = std::clamp(x, 0.0, static_cast<double>(capacity_));
+  return slope_ * std::min(x, cap_);
+}
+
+// ---------------------------------------------------------------------------
+// PowerUtility
+// ---------------------------------------------------------------------------
+
+PowerUtility::PowerUtility(double scale, double beta, Resource capacity)
+    : scale_(scale), beta_(beta), capacity_(capacity) {
+  if (scale < 0.0 || capacity < 0) {
+    throw std::invalid_argument("power utility: negative parameter");
+  }
+  if (beta <= 0.0 || beta > 1.0) {
+    throw std::invalid_argument("power utility: beta must be in (0, 1]");
+  }
+}
+
+double PowerUtility::value(double x) const {
+  x = std::clamp(x, 0.0, static_cast<double>(capacity_));
+  return scale_ * std::pow(x, beta_);
+}
+
+// ---------------------------------------------------------------------------
+// LogUtility
+// ---------------------------------------------------------------------------
+
+LogUtility::LogUtility(double scale, double rate, Resource capacity)
+    : scale_(scale), rate_(rate), capacity_(capacity) {
+  if (scale < 0.0 || rate < 0.0 || capacity < 0) {
+    throw std::invalid_argument("log utility: negative parameter");
+  }
+}
+
+double LogUtility::value(double x) const {
+  x = std::clamp(x, 0.0, static_cast<double>(capacity_));
+  return scale_ * std::log1p(rate_ * x);
+}
+
+// ---------------------------------------------------------------------------
+// ScaledUtility
+// ---------------------------------------------------------------------------
+
+ScaledUtility::ScaledUtility(UtilityPtr base, double factor)
+    : base_(std::move(base)), factor_(factor) {
+  if (base_ == nullptr) {
+    throw std::invalid_argument("scaled utility: null base");
+  }
+  if (factor < 0.0) {
+    throw std::invalid_argument("scaled utility: negative factor");
+  }
+}
+
+double ScaledUtility::value(double x) const { return factor_ * base_->value(x); }
+
+double ScaledUtility::marginal(Resource k) const {
+  return factor_ * base_->marginal(k);
+}
+
+// ---------------------------------------------------------------------------
+// SaturatedUtility
+// ---------------------------------------------------------------------------
+
+SaturatedUtility::SaturatedUtility(UtilityPtr base, double ceiling)
+    : base_(std::move(base)), ceiling_(ceiling) {
+  if (base_ == nullptr) {
+    throw std::invalid_argument("saturated utility: null base");
+  }
+  if (ceiling < 0.0) {
+    throw std::invalid_argument("saturated utility: negative ceiling");
+  }
+}
+
+double SaturatedUtility::value(double x) const {
+  return std::min(base_->value(x), ceiling_);
+}
+
+// ---------------------------------------------------------------------------
+// PiecewiseLinearUtility
+// ---------------------------------------------------------------------------
+
+PiecewiseLinearUtility::PiecewiseLinearUtility(std::vector<double> xs,
+                                               std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)), capacity_(0) {
+  if (xs_.size() != ys_.size() || xs_.size() < 2) {
+    throw std::invalid_argument("piecewise linear: need >= 2 matched points");
+  }
+  if (xs_.front() != 0.0) {
+    throw std::invalid_argument("piecewise linear: first breakpoint at x=0");
+  }
+  if (ys_.front() < 0.0) {
+    throw std::invalid_argument("piecewise linear: negative utility");
+  }
+  double prev_slope = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < xs_.size(); ++i) {
+    const double dx = xs_[i + 1] - xs_[i];
+    const double dy = ys_[i + 1] - ys_[i];
+    if (dx <= 0.0) {
+      throw std::invalid_argument("piecewise linear: xs not increasing");
+    }
+    if (dy < 0.0) {
+      throw std::invalid_argument("piecewise linear: not nondecreasing");
+    }
+    const double slope = dy / dx;
+    if (slope > prev_slope + 1e-12) {
+      throw std::invalid_argument("piecewise linear: not concave");
+    }
+    prev_slope = slope;
+  }
+  const double cap = xs_.back();
+  if (cap != std::floor(cap)) {
+    throw std::invalid_argument("piecewise linear: capacity must be integral");
+  }
+  capacity_ = static_cast<Resource>(cap);
+}
+
+double PiecewiseLinearUtility::value(double x) const {
+  x = std::clamp(x, 0.0, xs_.back());
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const auto hi = static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(it - xs_.begin(), 1,
+                                 static_cast<std::ptrdiff_t>(xs_.size()) - 1));
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+  return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+}
+
+// ---------------------------------------------------------------------------
+// TabulatedUtility
+// ---------------------------------------------------------------------------
+
+TabulatedUtility::TabulatedUtility(std::vector<double> values, double tol)
+    : values_(std::move(values)) {
+  if (values_.empty()) {
+    throw std::invalid_argument("tabulated: need at least f(0)");
+  }
+  if (values_.front() < -tol) {
+    throw std::invalid_argument("tabulated: negative utility at 0");
+  }
+  double prev_marginal = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 1; k < values_.size(); ++k) {
+    const double m = values_[k] - values_[k - 1];
+    if (m < -tol) throw std::invalid_argument("tabulated: not nondecreasing");
+    if (m > prev_marginal + tol) {
+      throw std::invalid_argument("tabulated: not concave");
+    }
+    prev_marginal = m;
+  }
+}
+
+TabulatedUtility::TabulatedUtility(RepairTag, std::vector<double> values)
+    : values_(std::move(values)) {}
+
+TabulatedUtility TabulatedUtility::from_samples_with_repair(
+    std::span<const double> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("tabulated: need at least f(0)");
+  }
+  std::vector<double> marginals;
+  marginals.reserve(samples.size() - 1);
+  for (std::size_t k = 1; k < samples.size(); ++k) {
+    marginals.push_back(std::max(0.0, samples[k] - samples[k - 1]));
+  }
+  const std::vector<double> repaired =
+      support::pav_nonincreasing(marginals);
+  std::vector<double> values(samples.size());
+  values[0] = std::max(0.0, samples[0]);
+  for (std::size_t k = 1; k < samples.size(); ++k) {
+    values[k] = values[k - 1] + std::max(0.0, repaired[k - 1]);
+  }
+  return TabulatedUtility(RepairTag{}, std::move(values));
+}
+
+double TabulatedUtility::value(double x) const {
+  const double cap = static_cast<double>(values_.size() - 1);
+  x = std::clamp(x, 0.0, cap);
+  const double lo = std::floor(x);
+  const auto k = static_cast<std::size_t>(lo);
+  if (k + 1 >= values_.size()) return values_.back();
+  const double t = x - lo;
+  return values_[k] + t * (values_[k + 1] - values_[k]);
+}
+
+double TabulatedUtility::marginal(Resource k) const {
+  if (k < 1 || static_cast<std::size_t>(k) >= values_.size()) return 0.0;
+  const auto idx = static_cast<std::size_t>(k);
+  return values_[idx] - values_[idx - 1];
+}
+
+}  // namespace aa::util

@@ -1,0 +1,142 @@
+// Tests for Algorithm 1 (aa/algorithm1.hpp): same guarantees as Algorithm 2
+// via a different greedy, plus the Theorem V.17 tightness behaviour.
+
+#include "aa/algorithm1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aa/algorithm2.hpp"
+#include "aa/exact.hpp"
+#include "support/prng.hpp"
+#include "utility/generator.hpp"
+
+namespace aa::core {
+namespace {
+
+using util::CappedLinearUtility;
+
+Instance generated_instance(std::size_t n, std::size_t m, Resource capacity,
+                            support::DistributionKind kind,
+                            std::uint64_t seed) {
+  support::Rng rng(seed);
+  support::DistributionParams dist;
+  dist.kind = kind;
+  Instance instance;
+  instance.num_servers = m;
+  instance.capacity = capacity;
+  instance.threads = util::generate_utilities(n, capacity, dist, rng);
+  return instance;
+}
+
+TEST(Algorithm1, AssignmentIsAlwaysValid) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Instance instance = generated_instance(
+        17, 3, 90, support::DistributionKind::kUniform, seed);
+    const SolveResult result = solve_algorithm1(instance);
+    ASSERT_EQ(check_assignment(instance, result.assignment), "");
+  }
+}
+
+TEST(Algorithm1, LemmaV15GuaranteeOnLinearizedObjective) {
+  for (const auto kind :
+       {support::DistributionKind::kUniform,
+        support::DistributionKind::kPowerLaw,
+        support::DistributionKind::kDiscrete}) {
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      const Instance instance =
+          generated_instance(6 + seed * 4, 3, 50, kind, 300 + seed);
+      const SolveResult result = solve_algorithm1(instance);
+      ASSERT_GE(result.linearized_utility,
+                kApproximationRatio * result.super_optimal_utility - 1e-7)
+          << "kind " << static_cast<int>(kind) << " seed " << seed;
+    }
+  }
+}
+
+TEST(Algorithm1, SandwichFGAndSuperOptimal) {
+  const Instance instance = generated_instance(
+      20, 4, 70, support::DistributionKind::kNormal, 5);
+  const SolveResult result = solve_algorithm1(instance);
+  EXPECT_GE(result.utility, result.linearized_utility - 1e-9);
+  EXPECT_LE(result.utility, result.super_optimal_utility + 1e-9);
+}
+
+TEST(Algorithm1, TheoremV17TightnessInstance) {
+  constexpr Resource kC = 1000;
+  Instance instance;
+  instance.num_servers = 2;
+  instance.capacity = kC;
+  instance.threads = {
+      std::make_shared<CappedLinearUtility>(0.002, 500.0, kC),
+      std::make_shared<CappedLinearUtility>(0.002, 500.0, kC),
+      std::make_shared<CappedLinearUtility>(0.001, 1000.0, kC)};
+  const SolveResult result = solve_algorithm1(instance);
+  EXPECT_NEAR(result.utility, 2.5, 1e-9);
+  EXPECT_NEAR(result.utility / solve_exact(instance).utility, 5.0 / 6.0,
+              1e-9);
+}
+
+TEST(Algorithm1, FirstMThreadsAreFull) {
+  // Lemma V.8: the first m assigned threads receive their super-optimal
+  // allocation. Equivalent check: at least min(n, m) threads are full.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Instance instance = generated_instance(
+        21, 4, 60, support::DistributionKind::kPowerLaw, 400 + seed);
+    const SolveResult result = solve_algorithm1(instance);
+    std::size_t full = 0;
+    for (std::size_t i = 0; i < instance.num_threads(); ++i) {
+      if (result.assignment.alloc[i] >=
+          static_cast<double>(result.c_hat[i]) - 0.5) {
+        ++full;
+      }
+    }
+    ASSERT_GE(full, std::min<std::size_t>(21, 4));
+  }
+}
+
+TEST(Algorithm1, AgreesWithAlgorithm2WhenThreadsFitExactly) {
+  // n <= m: both algorithms give every thread its super-optimal allocation.
+  const Instance instance = generated_instance(
+      4, 6, 100, support::DistributionKind::kDiscrete, 9);
+  const SolveResult a1 = solve_algorithm1(instance);
+  const SolveResult a2 = solve_algorithm2(instance);
+  EXPECT_NEAR(a1.utility, a2.utility, 1e-9);
+  EXPECT_NEAR(a1.utility, a1.super_optimal_utility,
+              1e-9 * (1.0 + a1.super_optimal_utility));
+}
+
+TEST(Algorithm1, ComparableQualityToAlgorithm2OnRandomInstances) {
+  // The two algorithms share the approximation proof; on random instances
+  // their utilities should be within a few percent of each other.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Instance instance = generated_instance(
+        30, 4, 80, support::DistributionKind::kUniform, 500 + seed);
+    const double u1 = solve_algorithm1(instance).utility;
+    const double u2 = solve_algorithm2(instance).utility;
+    ASSERT_GT(u1, 0.0);
+    ASSERT_GT(u2, 0.0);
+    ASSERT_NEAR(u1 / u2, 1.0, 0.15) << "seed " << seed;
+  }
+}
+
+TEST(Algorithm1, HandlesEmptyInstance) {
+  Instance instance;
+  instance.num_servers = 3;
+  instance.capacity = 10;
+  const SolveResult result = solve_algorithm1(instance);
+  EXPECT_TRUE(result.assignment.server.empty());
+  EXPECT_DOUBLE_EQ(result.utility, 0.0);
+}
+
+TEST(Algorithm1, RejectsMismatchedLinearization) {
+  const Instance instance = generated_instance(
+      5, 2, 30, support::DistributionKind::kUniform, 1);
+  const std::vector<util::Linearized> wrong(3);
+  EXPECT_THROW((void)assign_algorithm1(instance, wrong),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aa::core

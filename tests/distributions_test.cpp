@@ -1,0 +1,180 @@
+// Tests for the paper's H distributions and the simplex sampler
+// (support/distributions.hpp).
+
+#include "support/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/stats.hpp"
+
+namespace aa::support {
+namespace {
+
+TEST(UniformDist, SupportAndMoments) {
+  Rng rng(1);
+  DistributionParams params;
+  params.kind = DistributionKind::kUniform;
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = draw(params, rng);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(NormalDist, TruncationKeepsValuesNonnegative) {
+  Rng rng(2);
+  DistributionParams params;
+  params.kind = DistributionKind::kNormal;
+  params.mean = 1.0;
+  params.stddev = 1.0;
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = draw(params, rng);
+    ASSERT_GE(x, 0.0);
+    stats.add(x);
+  }
+  // Truncating N(1,1) at 0 shifts the mean up to ~1.288 (mills-ratio).
+  EXPECT_NEAR(stats.mean(), 1.288, 0.02);
+}
+
+TEST(PowerLawDist, SupportStartsAtXmin) {
+  Rng rng(3);
+  DistributionParams params;
+  params.kind = DistributionKind::kPowerLaw;
+  params.alpha = 2.0;
+  params.x_min = 1.0;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(draw(params, rng), 1.0);
+  }
+}
+
+TEST(PowerLawDist, TailExponentMatchesViaMedian) {
+  // For Pareto with density ~ x^-alpha on [1, inf) the median is
+  // 2^(1/(alpha-1)). Check alpha = 3 -> median sqrt(2).
+  Rng rng(4);
+  DistributionParams params;
+  params.kind = DistributionKind::kPowerLaw;
+  params.alpha = 3.0;
+  std::vector<double> xs;
+  for (int i = 0; i < 100001; ++i) xs.push_back(draw(params, rng));
+  std::nth_element(xs.begin(), xs.begin() + 50000, xs.end());
+  EXPECT_NEAR(xs[50000], std::sqrt(2.0), 0.02);
+}
+
+TEST(PowerLawDist, HeavierTailForSmallerAlpha) {
+  Rng rng(5);
+  DistributionParams heavy;
+  heavy.kind = DistributionKind::kPowerLaw;
+  heavy.alpha = 1.5;
+  DistributionParams light = heavy;
+  light.alpha = 4.0;
+  int heavy_big = 0;
+  int light_big = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (draw(heavy, rng) > 10.0) ++heavy_big;
+    if (draw(light, rng) > 10.0) ++light_big;
+  }
+  EXPECT_GT(heavy_big, 10 * std::max(1, light_big));
+}
+
+TEST(PowerLawDist, RejectsAlphaAtOrBelowOne) {
+  Rng rng(6);
+  DistributionParams params;
+  params.kind = DistributionKind::kPowerLaw;
+  params.alpha = 1.0;
+  EXPECT_THROW((void)draw(params, rng), std::invalid_argument);
+}
+
+TEST(DiscreteDist, OnlyTwoValuesWithCorrectFrequencies) {
+  Rng rng(7);
+  DistributionParams params;
+  params.kind = DistributionKind::kDiscrete;
+  params.gamma = 0.85;
+  params.theta = 5.0;
+  params.low = 1.0;
+  int lows = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    const double x = draw(params, rng);
+    ASSERT_TRUE(x == 1.0 || x == 5.0) << x;
+    if (x == 1.0) ++lows;
+  }
+  EXPECT_NEAR(static_cast<double>(lows) / draws, 0.85, 0.01);
+}
+
+TEST(OrderedPair, FirstIsAlwaysAtLeastSecond) {
+  Rng rng(8);
+  DistributionParams params;
+  params.kind = DistributionKind::kUniform;
+  for (int i = 0; i < 10000; ++i) {
+    const auto [v, w] = draw_ordered_pair(params, rng);
+    ASSERT_GE(v, w);
+    ASSERT_GE(w, 0.0);
+  }
+}
+
+TEST(OrderedPair, MatchesMaxMinOfIidPair) {
+  // E[max(U1,U2)] = 2/3, E[min(U1,U2)] = 1/3 for uniform.
+  Rng rng(9);
+  DistributionParams params;
+  params.kind = DistributionKind::kUniform;
+  RunningStats v_stats;
+  RunningStats w_stats;
+  for (int i = 0; i < 100000; ++i) {
+    const auto [v, w] = draw_ordered_pair(params, rng);
+    v_stats.add(v);
+    w_stats.add(w);
+  }
+  EXPECT_NEAR(v_stats.mean(), 2.0 / 3.0, 0.01);
+  EXPECT_NEAR(w_stats.mean(), 1.0 / 3.0, 0.01);
+}
+
+TEST(Simplex, PartsSumToTotalAndAreNonnegative) {
+  Rng rng(10);
+  for (const std::size_t k : {1u, 2u, 3u, 10u, 100u}) {
+    const auto parts = simplex_spacings(k, 1000.0, rng);
+    ASSERT_EQ(parts.size(), k);
+    double sum = 0.0;
+    for (const double p : parts) {
+      ASSERT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1000.0, 1e-6);
+  }
+}
+
+TEST(Simplex, ZeroPartsIsEmpty) {
+  Rng rng(11);
+  EXPECT_TRUE(simplex_spacings(0, 10.0, rng).empty());
+}
+
+TEST(Simplex, SinglePartGetsEverything) {
+  Rng rng(12);
+  const auto parts = simplex_spacings(1, 42.0, rng);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_DOUBLE_EQ(parts[0], 42.0);
+}
+
+TEST(Simplex, MarginalMeanIsTotalOverK) {
+  Rng rng(13);
+  RunningStats first;
+  for (int i = 0; i < 20000; ++i) {
+    first.add(simplex_spacings(5, 100.0, rng)[0]);
+  }
+  EXPECT_NEAR(first.mean(), 20.0, 0.5);
+}
+
+TEST(Simplex, RejectsNegativeTotal) {
+  Rng rng(14);
+  EXPECT_THROW((void)simplex_spacings(3, -1.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aa::support

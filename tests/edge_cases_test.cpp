@@ -1,0 +1,143 @@
+// Cross-module degenerate-input tests: zero capacity, single thread,
+// massive thread counts relative to servers, and all-zero utilities. These
+// exercise paths the property sweeps rarely hit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "aa/algorithm1.hpp"
+#include "aa/algorithm2.hpp"
+#include "aa/heuristics.hpp"
+#include "aa/local_search.hpp"
+#include "aa/refine.hpp"
+#include "support/prng.hpp"
+#include "utility/generator.hpp"
+#include "utility/utility_function.hpp"
+
+namespace aa::core {
+namespace {
+
+using util::CappedLinearUtility;
+using util::PowerUtility;
+
+Instance zero_capacity_instance() {
+  Instance instance;
+  instance.num_servers = 3;
+  instance.capacity = 0;
+  instance.threads = {std::make_shared<PowerUtility>(1.0, 0.5, 10),
+                      std::make_shared<PowerUtility>(2.0, 0.5, 10)};
+  return instance;
+}
+
+TEST(EdgeCases, ZeroCapacityThroughBothAlgorithms) {
+  const Instance instance = zero_capacity_instance();
+  for (const SolveResult& result :
+       {solve_algorithm1(instance), solve_algorithm2(instance),
+        solve_algorithm2_refined(instance)}) {
+    EXPECT_EQ(check_assignment(instance, result.assignment), "");
+    EXPECT_DOUBLE_EQ(result.utility, 0.0);
+    EXPECT_DOUBLE_EQ(result.super_optimal_utility, 0.0);
+  }
+}
+
+TEST(EdgeCases, ZeroCapacityHeuristics) {
+  const Instance instance = zero_capacity_instance();
+  support::Rng rng(1);
+  for (const Assignment& a :
+       {heuristic_uu(instance), heuristic_ur(instance, rng),
+        heuristic_ru(instance, rng), heuristic_rr(instance, rng)}) {
+    EXPECT_EQ(check_assignment(instance, a), "");
+    EXPECT_DOUBLE_EQ(total_utility(instance, a), 0.0);
+  }
+}
+
+TEST(EdgeCases, SingleThreadSingleServer) {
+  Instance instance;
+  instance.num_servers = 1;
+  instance.capacity = 17;
+  instance.threads = {std::make_shared<PowerUtility>(3.0, 0.5, 17)};
+  const SolveResult result = solve_algorithm2_refined(instance);
+  EXPECT_DOUBLE_EQ(result.assignment.alloc[0], 17.0);
+  EXPECT_NEAR(result.utility, 3.0 * std::sqrt(17.0), 1e-9);
+  EXPECT_NEAR(result.utility, result.super_optimal_utility, 1e-9);
+}
+
+TEST(EdgeCases, ManyThreadsFewServers) {
+  // 60 threads on 2 servers: most threads receive zero; the algorithm must
+  // stay valid and keep the Lemma V.15 certificate.
+  support::Rng rng(2);
+  support::DistributionParams dist;
+  dist.kind = support::DistributionKind::kPowerLaw;
+  Instance instance;
+  instance.num_servers = 2;
+  instance.capacity = 30;
+  instance.threads = util::generate_utilities(60, 30, dist, rng);
+  const SolveResult result = solve_algorithm2(instance);
+  EXPECT_EQ(check_assignment(instance, result.assignment), "");
+  EXPECT_GE(result.linearized_utility,
+            kApproximationRatio * result.super_optimal_utility - 1e-7);
+}
+
+TEST(EdgeCases, AllZeroUtilities) {
+  Instance instance;
+  instance.num_servers = 2;
+  instance.capacity = 10;
+  for (int i = 0; i < 4; ++i) {
+    instance.threads.push_back(
+        std::make_shared<CappedLinearUtility>(0.0, 10.0, 10));
+  }
+  const SolveResult a1 = solve_algorithm1(instance);
+  const SolveResult a2 = solve_algorithm2(instance);
+  EXPECT_DOUBLE_EQ(a1.utility, 0.0);
+  EXPECT_DOUBLE_EQ(a2.utility, 0.0);
+  EXPECT_EQ(check_assignment(instance, a1.assignment), "");
+  EXPECT_EQ(check_assignment(instance, a2.assignment), "");
+}
+
+TEST(EdgeCases, IdenticalThreadsSplitEvenly) {
+  // m identical saturating threads on m servers: each should end up alone
+  // with its saturation amount.
+  Instance instance;
+  instance.num_servers = 4;
+  instance.capacity = 100;
+  for (int i = 0; i < 4; ++i) {
+    instance.threads.push_back(
+        std::make_shared<CappedLinearUtility>(1.0, 80.0, 100));
+  }
+  const SolveResult result = solve_algorithm2(instance);
+  EXPECT_NEAR(result.utility, 4.0 * 80.0, 1e-9);
+  std::vector<int> counts(4, 0);
+  for (const std::size_t s : result.assignment.server) {
+    ++counts[s];
+  }
+  for (const int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(EdgeCases, LocalSearchOnDegenerateInstances) {
+  const Instance zero = zero_capacity_instance();
+  Assignment start;
+  start.server.assign(2, 0);
+  start.alloc.assign(2, 0.0);
+  const LocalSearchResult result = improve_local_search(zero, start);
+  EXPECT_DOUBLE_EQ(result.utility, 0.0);
+  EXPECT_EQ(check_assignment(zero, result.assignment), "");
+}
+
+TEST(EdgeCases, CapacityOneResourceUnit) {
+  // The smallest nontrivial capacity: a single indivisible unit per server.
+  Instance instance;
+  instance.num_servers = 2;
+  instance.capacity = 1;
+  instance.threads = {std::make_shared<CappedLinearUtility>(5.0, 1.0, 1),
+                      std::make_shared<CappedLinearUtility>(3.0, 1.0, 1),
+                      std::make_shared<CappedLinearUtility>(1.0, 1.0, 1)};
+  const SolveResult result = solve_algorithm2_refined(instance);
+  EXPECT_EQ(check_assignment(instance, result.assignment), "");
+  // The two best threads get the two units: 5 + 3.
+  EXPECT_DOUBLE_EQ(result.utility, 8.0);
+}
+
+}  // namespace
+}  // namespace aa::core

@@ -1,0 +1,114 @@
+// Tests for the exhaustive AA solver (aa/exact.hpp).
+
+#include "aa/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "support/prng.hpp"
+#include "utility/generator.hpp"
+#include "utility/utility_function.hpp"
+
+namespace aa::core {
+namespace {
+
+using util::CappedLinearUtility;
+using util::PowerUtility;
+
+TEST(Exact, SingleThreadGetsFullServer) {
+  Instance instance;
+  instance.num_servers = 2;
+  instance.capacity = 10;
+  instance.threads = {std::make_shared<PowerUtility>(1.0, 0.5, 10)};
+  const ExactResult result = solve_exact(instance);
+  EXPECT_NEAR(result.utility, std::sqrt(10.0), 1e-9);
+  EXPECT_DOUBLE_EQ(result.assignment.alloc[0], 10.0);
+}
+
+TEST(Exact, SeparatesCompetingThreads) {
+  // Two identical saturating threads and two servers: optimal puts them on
+  // different servers.
+  Instance instance;
+  instance.num_servers = 2;
+  instance.capacity = 10;
+  instance.threads = {
+      std::make_shared<CappedLinearUtility>(1.0, 10.0, 10),
+      std::make_shared<CappedLinearUtility>(1.0, 10.0, 10)};
+  const ExactResult result = solve_exact(instance);
+  EXPECT_DOUBLE_EQ(result.utility, 20.0);
+  EXPECT_NE(result.assignment.server[0], result.assignment.server[1]);
+}
+
+TEST(Exact, KnownThreeThreadOptimum) {
+  // The Theorem V.17 instance: optimum co-locates the two steep threads.
+  Instance instance;
+  instance.num_servers = 2;
+  instance.capacity = 1000;
+  instance.threads = {
+      std::make_shared<CappedLinearUtility>(0.002, 500.0, 1000),
+      std::make_shared<CappedLinearUtility>(0.002, 500.0, 1000),
+      std::make_shared<CappedLinearUtility>(0.001, 1000.0, 1000)};
+  const ExactResult result = solve_exact(instance);
+  EXPECT_NEAR(result.utility, 3.0, 1e-9);
+  EXPECT_EQ(result.assignment.server[0], result.assignment.server[1]);
+  EXPECT_NE(result.assignment.server[2], result.assignment.server[0]);
+}
+
+TEST(Exact, AssignmentIsValid) {
+  support::Rng rng(8);
+  support::DistributionParams dist;
+  dist.kind = support::DistributionKind::kPowerLaw;
+  Instance instance;
+  instance.num_servers = 3;
+  instance.capacity = 15;
+  instance.threads = util::generate_utilities(6, 15, dist, rng);
+  const ExactResult result = solve_exact(instance);
+  EXPECT_EQ(check_assignment(instance, result.assignment), "");
+}
+
+TEST(Exact, SymmetryBreakingCountsPartitionsNotLabelings) {
+  // 3 threads on 2 servers: set partitions into <= 2 blocks = 4 canonical
+  // labelings (vs 8 raw): {012}, {01|2}, {02|1}, {0|12}.
+  Instance instance;
+  instance.num_servers = 2;
+  instance.capacity = 4;
+  for (int i = 0; i < 3; ++i) {
+    instance.threads.push_back(std::make_shared<PowerUtility>(1.0, 0.5, 4));
+  }
+  const ExactResult result = solve_exact(instance);
+  EXPECT_EQ(result.partitions_explored, 4u);
+}
+
+TEST(Exact, MoreServersThanThreadsIsolatesEveryone) {
+  Instance instance;
+  instance.num_servers = 5;
+  instance.capacity = 9;
+  instance.threads = {std::make_shared<PowerUtility>(1.0, 0.5, 9),
+                      std::make_shared<PowerUtility>(2.0, 0.5, 9)};
+  const ExactResult result = solve_exact(instance);
+  EXPECT_NEAR(result.utility, 9.0, 1e-9);  // 3 + 6, each alone.
+}
+
+TEST(Exact, EmptyInstance) {
+  Instance instance;
+  instance.num_servers = 2;
+  instance.capacity = 5;
+  const ExactResult result = solve_exact(instance);
+  EXPECT_DOUBLE_EQ(result.utility, 0.0);
+}
+
+TEST(Exact, RefusesOversizedInstances) {
+  Instance instance;
+  instance.num_servers = 2;
+  instance.capacity = 5;
+  for (int i = 0; i < 13; ++i) {
+    instance.threads.push_back(std::make_shared<PowerUtility>(1.0, 0.5, 5));
+  }
+  EXPECT_THROW((void)solve_exact(instance), std::invalid_argument);
+  EXPECT_NO_THROW((void)solve_exact(instance, 13));
+}
+
+}  // namespace
+}  // namespace aa::core

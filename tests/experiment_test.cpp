@@ -1,0 +1,86 @@
+// Tests for the Monte-Carlo experiment runner (sim/experiment.hpp).
+
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aa/solve_result.hpp"
+
+namespace aa::sim {
+namespace {
+
+WorkloadConfig small_config() {
+  WorkloadConfig config;
+  config.num_servers = 4;
+  config.capacity = 50;
+  config.beta = 3.0;
+  config.dist.kind = support::DistributionKind::kUniform;
+  return config;
+}
+
+TEST(RunTrial, ProducesPositiveUtilitiesWithExpectedOrdering) {
+  const TrialUtilities t = run_trial(small_config(), 99, 0);
+  EXPECT_GT(t.algorithm2, 0.0);
+  EXPECT_GT(t.uu, 0.0);
+  EXPECT_GT(t.rr, 0.0);
+  // SO bounds everything.
+  EXPECT_LE(t.algorithm2, t.super_optimal + 1e-9);
+  EXPECT_LE(t.uu, t.super_optimal + 1e-9);
+  EXPECT_LE(t.ur, t.super_optimal + 1e-9);
+  EXPECT_LE(t.ru, t.super_optimal + 1e-9);
+  EXPECT_LE(t.rr, t.super_optimal + 1e-9);
+}
+
+TEST(RunTrial, DeterministicPerTrialIndex) {
+  const TrialUtilities a = run_trial(small_config(), 7, 3);
+  const TrialUtilities b = run_trial(small_config(), 7, 3);
+  EXPECT_DOUBLE_EQ(a.algorithm2, b.algorithm2);
+  EXPECT_DOUBLE_EQ(a.rr, b.rr);
+  const TrialUtilities c = run_trial(small_config(), 7, 4);
+  EXPECT_NE(a.algorithm2, c.algorithm2);
+}
+
+TEST(RunPoint, AggregatesRequestedTrials) {
+  const RatioPoint point = run_point(small_config(), 20, 11);
+  for (const auto& stats : point.ratio) {
+    EXPECT_EQ(stats.count(), 20u);
+  }
+}
+
+TEST(RunPoint, RatiosHaveThePaperStructure) {
+  const RatioPoint point = run_point(small_config(), 50, 12);
+  // Alg2/SO <= 1 but well above alpha; heuristic ratios >= 1 on average.
+  EXPECT_LE(point.ratio[kVsSuperOptimal].mean(), 1.0 + 1e-9);
+  EXPECT_GE(point.ratio[kVsSuperOptimal].mean(),
+            core::kApproximationRatio);
+  EXPECT_GE(point.ratio[kVsUU].mean(), 1.0);
+  EXPECT_GE(point.ratio[kVsUR].mean(), 1.0);
+  EXPECT_GE(point.ratio[kVsRU].mean(), 1.0);
+  EXPECT_GE(point.ratio[kVsRR].mean(), 1.0);
+}
+
+TEST(RunPoint, IndependentOfWorkerCount) {
+  // Determinism across pool sizes: the whole point of per-trial seeding.
+  support::ThreadPool one(1);
+  support::ThreadPool many(8);
+  const RatioPoint a = run_point(small_config(), 16, 13, &one);
+  const RatioPoint b = run_point(small_config(), 16, 13, &many);
+  for (std::size_t c = 0; c < kNumCompetitors; ++c) {
+    EXPECT_DOUBLE_EQ(a.ratio[c].mean(), b.ratio[c].mean());
+    EXPECT_DOUBLE_EQ(a.ratio[c].min(), b.ratio[c].min());
+  }
+}
+
+TEST(RunPoint, RejectsZeroTrials) {
+  EXPECT_THROW((void)run_point(small_config(), 0, 1), std::invalid_argument);
+}
+
+TEST(RunPoint, BetaOneMakesUUOptimal) {
+  WorkloadConfig config = small_config();
+  config.beta = 1.0;
+  const RatioPoint point = run_point(config, 30, 14);
+  EXPECT_NEAR(point.ratio[kVsUU].mean(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace aa::sim

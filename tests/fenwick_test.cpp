@@ -1,0 +1,74 @@
+// Tests for the Fenwick tree (support/fenwick.hpp).
+
+#include "support/fenwick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/prng.hpp"
+
+namespace aa::support {
+namespace {
+
+TEST(Fenwick, EmptyPrefixSums) {
+  FenwickTree tree(10);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(tree.prefix_sum(i), 0);
+}
+
+TEST(Fenwick, SinglePointUpdate) {
+  FenwickTree tree(8);
+  tree.add(3, 5);
+  EXPECT_EQ(tree.prefix_sum(2), 0);
+  EXPECT_EQ(tree.prefix_sum(3), 5);
+  EXPECT_EQ(tree.prefix_sum(7), 5);
+}
+
+TEST(Fenwick, NegativeDeltas) {
+  FenwickTree tree(4);
+  tree.add(1, 10);
+  tree.add(1, -4);
+  EXPECT_EQ(tree.prefix_sum(3), 6);
+}
+
+TEST(Fenwick, RangeSumBasics) {
+  FenwickTree tree(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    tree.add(i, static_cast<std::int64_t>(i + 1));  // 1..6
+  }
+  EXPECT_EQ(tree.range_sum(0, 5), 21);
+  EXPECT_EQ(tree.range_sum(2, 4), 3 + 4 + 5);
+  EXPECT_EQ(tree.range_sum(3, 3), 4);
+  EXPECT_EQ(tree.range_sum(4, 2), 0);  // Inverted range.
+}
+
+TEST(Fenwick, MatchesNaiveOnRandomWorkload) {
+  const std::size_t size = 200;
+  FenwickTree tree(size);
+  std::vector<std::int64_t> reference(size, 0);
+  Rng rng(99);
+  for (int op = 0; op < 2000; ++op) {
+    const auto pos = static_cast<std::size_t>(rng.uniform_below(size));
+    const auto delta =
+        static_cast<std::int64_t>(rng.uniform_below(21)) - 10;
+    tree.add(pos, delta);
+    reference[pos] += delta;
+    const auto lo = static_cast<std::size_t>(rng.uniform_below(size));
+    const auto hi = static_cast<std::size_t>(rng.uniform_below(size));
+    if (lo <= hi) {
+      std::int64_t expected = 0;
+      for (std::size_t i = lo; i <= hi; ++i) expected += reference[i];
+      ASSERT_EQ(tree.range_sum(lo, hi), expected);
+    }
+  }
+}
+
+TEST(Fenwick, BoundsChecked) {
+  FenwickTree tree(5);
+  EXPECT_THROW(tree.add(5, 1), std::out_of_range);
+  EXPECT_THROW((void)tree.prefix_sum(5), std::out_of_range);
+  EXPECT_EQ(tree.size(), 5u);
+}
+
+}  // namespace
+}  // namespace aa::support

@@ -1,0 +1,157 @@
+// Tests for utility-curve fitting from noisy measurements
+// (utility/fitting.hpp).
+
+#include "utility/fitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "aa/refine.hpp"
+#include "utility/generator.hpp"
+
+namespace aa::util {
+namespace {
+
+TEST(Fit, ExactRecoveryFromNoiselessDenseSamples) {
+  const PowerUtility truth(2.0, 0.5, 100);
+  std::vector<Sample> samples;
+  for (Resource x = 0; x <= 100; x += 5) {
+    samples.push_back({static_cast<double>(x),
+                       truth.value(static_cast<double>(x))});
+  }
+  const UtilityPtr fitted = fit_concave_utility(samples, 100);
+  for (Resource x = 0; x <= 100; x += 5) {
+    EXPECT_NEAR(fitted->value(static_cast<double>(x)),
+                truth.value(static_cast<double>(x)), 1e-9);
+  }
+  EXPECT_TRUE(is_valid_on_grid(*fitted, 1e-9));
+}
+
+TEST(Fit, ResultIsAlwaysValidConcaveUtility) {
+  support::Rng rng(1);
+  support::DistributionParams dist;
+  dist.kind = support::DistributionKind::kPowerLaw;
+  for (int trial = 0; trial < 10; ++trial) {
+    const UtilityPtr truth = generate_utility(80, dist, rng);
+    const auto levels = even_levels(80, 6);
+    const auto samples = measure_utility(*truth, levels, 3, 0.1, rng);
+    const UtilityPtr fitted = fit_concave_utility(samples, 80);
+    ASSERT_TRUE(is_valid_on_grid(*fitted, 1e-7)) << "trial " << trial;
+    ASSERT_EQ(fitted->capacity(), 80);
+  }
+}
+
+TEST(Fit, RecoveryErrorShrinksWithRepeats) {
+  // Averaging repeated noisy measurements must reduce sup-norm error.
+  const PowerUtility truth(5.0, 0.6, 100);
+  const auto levels = even_levels(100, 10);
+  auto sup_error = [&](std::size_t repeats, std::uint64_t seed) {
+    support::Rng rng(seed);
+    const auto samples = measure_utility(truth, levels, repeats, 0.15, rng);
+    const UtilityPtr fitted = fit_concave_utility(samples, 100);
+    double worst = 0.0;
+    for (Resource x = 0; x <= 100; ++x) {
+      worst = std::max(worst,
+                       std::abs(fitted->value(static_cast<double>(x)) -
+                                truth.value(static_cast<double>(x))));
+    }
+    return worst;
+  };
+  // Average over a few seeds to avoid a fluke comparison.
+  double few = 0.0;
+  double many = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    few += sup_error(1, 100 + seed);
+    many += sup_error(32, 200 + seed);
+  }
+  EXPECT_LT(many, few);
+}
+
+TEST(Fit, AnchorZeroPinsOrigin) {
+  const std::vector<Sample> samples{{50.0, 5.0}, {100.0, 7.0}};
+  const UtilityPtr anchored = fit_concave_utility(samples, 100);
+  EXPECT_DOUBLE_EQ(anchored->value(0.0), 0.0);
+
+  FitOptions options;
+  options.anchor_zero = false;
+  const UtilityPtr floating = fit_concave_utility(samples, 100, options);
+  EXPECT_DOUBLE_EQ(floating->value(0.0), 5.0);  // Constant extrapolation.
+}
+
+TEST(Fit, AveragesDuplicateLevels) {
+  const std::vector<Sample> samples{{0.0, 0.0}, {10.0, 4.0}, {10.0, 6.0}};
+  const UtilityPtr fitted = fit_concave_utility(samples, 10);
+  EXPECT_NEAR(fitted->value(10.0), 5.0, 1e-9);
+}
+
+TEST(Fit, Rejections) {
+  EXPECT_THROW((void)fit_concave_utility({}, 10), std::invalid_argument);
+  const std::vector<Sample> outside{{20.0, 1.0}};
+  EXPECT_THROW((void)fit_concave_utility(outside, 10),
+               std::invalid_argument);
+  const std::vector<Sample> ok{{1.0, 1.0}};
+  EXPECT_THROW((void)fit_concave_utility(ok, -1), std::invalid_argument);
+}
+
+TEST(MeasureUtility, SampleCountAndNonnegativity) {
+  const PowerUtility truth(1.0, 0.5, 50);
+  support::Rng rng(3);
+  const auto levels = even_levels(50, 5);
+  const auto samples = measure_utility(truth, levels, 4, 0.5, rng);
+  EXPECT_EQ(samples.size(), levels.size() * 4);
+  for (const Sample& s : samples) ASSERT_GE(s.y, 0.0);
+}
+
+TEST(MeasureUtility, ZeroNoiseIsExact) {
+  const PowerUtility truth(1.0, 0.5, 50);
+  support::Rng rng(4);
+  const auto samples =
+      measure_utility(truth, even_levels(50, 5), 1, 0.0, rng);
+  for (const Sample& s : samples) {
+    ASSERT_DOUBLE_EQ(s.y, truth.value(s.x));
+  }
+}
+
+TEST(EvenLevels, CoverageAndUniqueness) {
+  const auto levels = even_levels(100, 4);
+  EXPECT_EQ(levels, (std::vector<Resource>{25, 50, 75, 100}));
+  const auto tiny = even_levels(2, 5);  // Duplicates collapse.
+  EXPECT_EQ(tiny, (std::vector<Resource>{1, 2}));
+  EXPECT_THROW((void)even_levels(0, 3), std::invalid_argument);
+  EXPECT_THROW((void)even_levels(10, 0), std::invalid_argument);
+}
+
+TEST(EndToEnd, PlanningOnFittedCurvesStaysNearTrueOptimum) {
+  // The Section-VIII story: fit every thread from noisy samples, run AA on
+  // the fitted instance, evaluate the resulting assignment on the TRUE
+  // utilities, compare against planning with perfect knowledge.
+  support::Rng rng(9);
+  support::DistributionParams dist;
+  dist.kind = support::DistributionKind::kUniform;
+  core::Instance truth;
+  truth.num_servers = 3;
+  truth.capacity = 60;
+  truth.threads = generate_utilities(12, 60, dist, rng);
+
+  core::Instance fitted = truth;
+  const auto levels = even_levels(60, 8);
+  for (std::size_t i = 0; i < truth.threads.size(); ++i) {
+    const auto samples =
+        measure_utility(*truth.threads[i], levels, 5, 0.05, rng);
+    fitted.threads[i] = fit_concave_utility(samples, 60);
+  }
+
+  const core::SolveResult planned_true =
+      core::solve_algorithm2_refined(truth);
+  const core::SolveResult planned_fitted =
+      core::solve_algorithm2_refined(fitted);
+  // Evaluate the fitted plan against reality.
+  const double realized =
+      core::total_utility(truth, planned_fitted.assignment);
+  EXPECT_GE(realized, 0.9 * planned_true.utility);
+}
+
+}  // namespace
+}  // namespace aa::util

@@ -1,0 +1,98 @@
+// Tests for the PARTITION -> AA reduction (aa/hardness.hpp, Theorem IV.1).
+
+#include "aa/hardness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "aa/exact.hpp"
+#include "support/prng.hpp"
+#include "support/stats.hpp"
+
+namespace aa::core {
+namespace {
+
+TEST(PartitionOracle, SolvableAndUnsolvableCases) {
+  const std::array<std::int64_t, 4> yes{3, 1, 1, 5};  // {5} vs {3,1,1}.
+  EXPECT_TRUE(partition_exists(yes));
+  const std::array<std::int64_t, 3> no{2, 4, 8};  // Sum 14, no half = 7.
+  EXPECT_FALSE(partition_exists(no));
+  const std::array<std::int64_t, 3> odd{1, 1, 1};
+  EXPECT_FALSE(partition_exists(odd));
+}
+
+TEST(PartitionOracle, RejectsNonpositiveValues) {
+  const std::array<std::int64_t, 2> bad{3, 0};
+  EXPECT_THROW((void)partition_exists(bad), std::invalid_argument);
+}
+
+TEST(Gadget, BuildsTwoServerInstanceWithHalfSumCapacity) {
+  const std::array<std::int64_t, 4> values{3, 1, 1, 5};
+  const Instance instance = partition_to_aa(values);
+  EXPECT_EQ(instance.num_servers, 2u);
+  EXPECT_EQ(instance.capacity, 5);
+  EXPECT_EQ(instance.num_threads(), 4u);
+  EXPECT_NO_THROW(instance.validate());
+  EXPECT_DOUBLE_EQ(partition_target(values), 10.0);
+}
+
+TEST(Gadget, RejectsOddSum) {
+  const std::array<std::int64_t, 2> odd{2, 1};
+  EXPECT_THROW((void)partition_to_aa(odd), std::invalid_argument);
+}
+
+TEST(Gadget, SolvablePartitionReachesTarget) {
+  // Theorem IV.1, "only if" direction: a partition solution yields an AA
+  // assignment with utility sum(values).
+  const std::array<std::int64_t, 4> values{3, 1, 1, 5};
+  const Instance instance = partition_to_aa(values);
+  const ExactResult exact = solve_exact(instance);
+  EXPECT_NEAR(exact.utility, partition_target(values), 1e-9);
+
+  // And the extracted sets are a genuine partition.
+  const auto [left, right] = extract_partition(exact.assignment);
+  std::int64_t left_sum = 0;
+  for (const std::size_t i : left) left_sum += values[i];
+  std::int64_t right_sum = 0;
+  for (const std::size_t i : right) right_sum += values[i];
+  EXPECT_EQ(left_sum, right_sum);
+}
+
+TEST(Gadget, UnsolvablePartitionStaysBelowTarget) {
+  // "If" direction contrapositive: no partition -> optimal AA utility is
+  // strictly below the target.
+  const std::array<std::int64_t, 3> values{2, 4, 8};
+  const Instance instance = partition_to_aa(values);
+  const ExactResult exact = solve_exact(instance);
+  EXPECT_LT(exact.utility, partition_target(values) - 0.5);
+}
+
+TEST(Gadget, RandomInstancesRoundTripAgainstOracle) {
+  // Property: optimal-AA-reaches-target iff the subset-sum oracle says yes.
+  support::Rng rng(2718);
+  int solvable_seen = 0;
+  int unsolvable_seen = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::int64_t> values;
+    std::int64_t sum = 0;
+    for (int i = 0; i < 7; ++i) {
+      const auto v = static_cast<std::int64_t>(rng.uniform_below(9)) + 1;
+      values.push_back(v);
+      sum += v;
+    }
+    if (sum % 2 != 0) continue;  // Gadget requires an even sum.
+    const Instance instance = partition_to_aa(values);
+    const ExactResult exact = solve_exact(instance);
+    const bool reached =
+        support::almost_equal(exact.utility, partition_target(values), 1e-6);
+    ASSERT_EQ(reached, partition_exists(values)) << "trial " << trial;
+    (reached ? solvable_seen : unsolvable_seen) += 1;
+  }
+  // The trial set must exercise both outcomes to be meaningful.
+  EXPECT_GT(solvable_seen, 0);
+  EXPECT_GT(unsolvable_seen, 0);
+}
+
+}  // namespace
+}  // namespace aa::core

@@ -1,0 +1,166 @@
+// Tests for PCHIP interpolation and PAV isotonic regression
+// (support/interpolate.hpp).
+
+#include "support/interpolate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace aa::support {
+namespace {
+
+TEST(Pchip, PassesThroughKnots) {
+  const std::array<double, 4> xs{0.0, 1.0, 3.0, 4.0};
+  const std::array<double, 4> ys{0.0, 2.0, 3.0, 3.5};
+  const PchipInterpolant f(xs, ys);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(f(xs[i]), ys[i], 1e-12);
+  }
+}
+
+TEST(Pchip, MonotoneForMonotoneData) {
+  const std::array<double, 3> xs{0.0, 500.0, 1000.0};
+  const std::array<double, 3> ys{0.0, 0.9, 1.2};
+  const PchipInterpolant f(xs, ys);
+  double prev = f(0.0);
+  for (int k = 1; k <= 1000; ++k) {
+    const double cur = f(static_cast<double>(k));
+    ASSERT_GE(cur, prev - 1e-12) << "not monotone at " << k;
+    prev = cur;
+  }
+}
+
+TEST(Pchip, ExactOnLinearData) {
+  const std::array<double, 3> xs{0.0, 1.0, 2.0};
+  const std::array<double, 3> ys{1.0, 3.0, 5.0};
+  const PchipInterpolant f(xs, ys);
+  for (double x = 0.0; x <= 2.0; x += 0.1) {
+    EXPECT_NEAR(f(x), 1.0 + 2.0 * x, 1e-12);
+  }
+}
+
+TEST(Pchip, ClampsOutsideKnotRange) {
+  const std::array<double, 2> xs{0.0, 1.0};
+  const std::array<double, 2> ys{2.0, 5.0};
+  const PchipInterpolant f(xs, ys);
+  EXPECT_DOUBLE_EQ(f(-10.0), 2.0);
+  EXPECT_DOUBLE_EQ(f(10.0), 5.0);
+}
+
+TEST(Pchip, NoOvershootOnFlatSegment) {
+  // PCHIP must not overshoot a plateau (the defining fix over cubic
+  // splines).
+  const std::array<double, 4> xs{0.0, 1.0, 2.0, 3.0};
+  const std::array<double, 4> ys{0.0, 1.0, 1.0, 2.0};
+  const PchipInterpolant f(xs, ys);
+  for (double x = 1.0; x <= 2.0; x += 0.05) {
+    ASSERT_LE(f(x), 1.0 + 1e-12);
+    ASSERT_GE(f(x), 1.0 - 1e-12);
+  }
+}
+
+TEST(Pchip, DerivativeMatchesFiniteDifference) {
+  const std::array<double, 3> xs{0.0, 2.0, 5.0};
+  const std::array<double, 3> ys{0.0, 3.0, 4.0};
+  const PchipInterpolant f(xs, ys);
+  const double h = 1e-6;
+  for (const double x : {0.5, 1.0, 2.5, 4.0}) {
+    const double fd = (f(x + h) - f(x - h)) / (2.0 * h);
+    EXPECT_NEAR(f.derivative(x), fd, 1e-5) << "at " << x;
+  }
+}
+
+TEST(Pchip, TwoKnotCaseIsLinear) {
+  const std::array<double, 2> xs{0.0, 4.0};
+  const std::array<double, 2> ys{1.0, 9.0};
+  const PchipInterpolant f(xs, ys);
+  EXPECT_NEAR(f(1.0), 3.0, 1e-12);
+  EXPECT_NEAR(f(3.0), 7.0, 1e-12);
+}
+
+TEST(Pchip, RejectsMalformedInput) {
+  const std::array<double, 2> ys{0.0, 1.0};
+  EXPECT_THROW(PchipInterpolant(std::array<double, 1>{0.0},
+                                std::array<double, 1>{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      PchipInterpolant(std::array<double, 2>{1.0, 0.0}, ys),
+      std::invalid_argument);
+  EXPECT_THROW(
+      PchipInterpolant(std::array<double, 2>{0.0, 0.0}, ys),
+      std::invalid_argument);
+  EXPECT_THROW(
+      PchipInterpolant(std::array<double, 3>{0.0, 1.0, 2.0}, ys),
+      std::invalid_argument);
+}
+
+TEST(Pchip, ConcaveThreePointPaperShape) {
+  // The generator's shape: (0,0), (C/2, v), (C, v+w) with w <= v must give a
+  // near-concave interpolant; verify the sampled marginals are close to
+  // nonincreasing (tiny violations are repaired downstream).
+  const std::array<double, 3> xs{0.0, 500.0, 1000.0};
+  const std::array<double, 3> ys{0.0, 0.8, 1.1};
+  const PchipInterpolant f(xs, ys);
+  double prev_marginal = f(1.0) - f(0.0);
+  double worst_violation = 0.0;
+  for (int k = 2; k <= 1000; ++k) {
+    const double m = f(static_cast<double>(k)) - f(static_cast<double>(k - 1));
+    worst_violation = std::max(worst_violation, m - prev_marginal);
+    prev_marginal = m;
+  }
+  EXPECT_LE(worst_violation, 1e-6);
+}
+
+TEST(Pav, NonincreasingIdentityOnSortedInput) {
+  const std::vector<double> in{5.0, 4.0, 3.0, 1.0};
+  EXPECT_EQ(pav_nonincreasing(in), in);
+}
+
+TEST(Pav, NonincreasingPoolsViolations) {
+  const std::vector<double> in{3.0, 1.0, 2.0};
+  const auto out = pav_nonincreasing(in);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.5);
+  EXPECT_DOUBLE_EQ(out[2], 1.5);
+}
+
+TEST(Pav, OutputIsNonincreasing) {
+  const std::vector<double> in{1.0, 5.0, 2.0, 8.0, 3.0, 3.0, 0.5};
+  const auto out = pav_nonincreasing(in);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    ASSERT_LE(out[i], out[i - 1] + 1e-12);
+  }
+}
+
+TEST(Pav, PreservesSum) {
+  // PAV is an L2 projection onto the monotone cone; it preserves the mean.
+  const std::vector<double> in{1.0, 5.0, 2.0, 8.0, 3.0, 3.0, 0.5};
+  const auto out = pav_nonincreasing(in);
+  double sum_in = 0.0;
+  double sum_out = 0.0;
+  for (const double v : in) sum_in += v;
+  for (const double v : out) sum_out += v;
+  EXPECT_NEAR(sum_in, sum_out, 1e-9);
+}
+
+TEST(Pav, NondecreasingMirror) {
+  const std::vector<double> in{2.0, 1.0, 3.0};
+  const auto out = pav_nondecreasing(in);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 1.5);
+  EXPECT_DOUBLE_EQ(out[1], 1.5);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+}
+
+TEST(Pav, EmptyAndSingleton) {
+  EXPECT_TRUE(pav_nonincreasing(std::vector<double>{}).empty());
+  const std::vector<double> one{7.0};
+  EXPECT_EQ(pav_nonincreasing(one), one);
+}
+
+}  // namespace
+}  // namespace aa::support

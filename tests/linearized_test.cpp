@@ -1,0 +1,87 @@
+// Tests for the two-segment linearization of Equation 1
+// (utility/linearized.hpp): Lemma V.4's g <= f and structural properties.
+
+#include "utility/linearized.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "support/prng.hpp"
+#include "utility/generator.hpp"
+
+namespace aa::util {
+namespace {
+
+TEST(Linearized, RampThenFlat) {
+  const Linearized g{.cap = 10, .peak = 5.0};
+  EXPECT_DOUBLE_EQ(g.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(g.value(5.0), 2.5);
+  EXPECT_DOUBLE_EQ(g.value(10.0), 5.0);
+  EXPECT_DOUBLE_EQ(g.value(20.0), 5.0);
+  EXPECT_DOUBLE_EQ(g.density(), 0.5);
+}
+
+TEST(Linearized, ZeroCapIsConstant) {
+  const Linearized g{.cap = 0, .peak = 3.0};
+  EXPECT_DOUBLE_EQ(g.value(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(g.value(100.0), 3.0);
+  EXPECT_DOUBLE_EQ(g.density(), 0.0);
+}
+
+TEST(Linearized, NegativeInputClampsToZero) {
+  const Linearized g{.cap = 4, .peak = 2.0};
+  EXPECT_DOUBLE_EQ(g.value(-1.0), 0.0);
+}
+
+TEST(LinearizeFn, BuildsPeaksFromUtilities) {
+  std::vector<UtilityPtr> threads{
+      std::make_shared<PowerUtility>(1.0, 0.5, 100),
+      std::make_shared<CappedLinearUtility>(2.0, 10.0, 100)};
+  const std::vector<Resource> c_hats{25, 40};
+  const auto gs = linearize(threads, c_hats);
+  ASSERT_EQ(gs.size(), 2u);
+  EXPECT_EQ(gs[0].cap, 25);
+  EXPECT_DOUBLE_EQ(gs[0].peak, 5.0);
+  EXPECT_EQ(gs[1].cap, 40);
+  EXPECT_DOUBLE_EQ(gs[1].peak, 20.0);
+}
+
+TEST(LinearizeFn, RejectsMismatchedOrNegative) {
+  std::vector<UtilityPtr> threads{
+      std::make_shared<PowerUtility>(1.0, 0.5, 100)};
+  EXPECT_THROW((void)linearize(threads, {1, 2}), std::invalid_argument);
+  EXPECT_THROW((void)linearize(threads, {-1}), std::invalid_argument);
+}
+
+TEST(LemmaV4, LinearizationLowerBoundsConcaveFunction) {
+  // For random generated utilities and random c_hat: g_i(x) <= f_i(x) on the
+  // whole domain (Lemma V.4).
+  support::Rng rng(77);
+  support::DistributionParams dist;
+  dist.kind = support::DistributionKind::kUniform;
+  for (int trial = 0; trial < 20; ++trial) {
+    const UtilityPtr f = generate_utility(200, dist, rng);
+    const Resource c_hat =
+        static_cast<Resource>(rng.uniform_below(201));
+    const auto gs = linearize({f}, {c_hat});
+    for (Resource x = 0; x <= 200; ++x) {
+      const double fx = f->value(static_cast<double>(x));
+      const double gx = gs[0].value(static_cast<double>(x));
+      ASSERT_LE(gx, fx + 1e-9)
+          << "g exceeds f at x=" << x << " (c_hat=" << c_hat << ")";
+    }
+  }
+}
+
+TEST(LemmaV4, EqualityAtCHat) {
+  support::Rng rng(78);
+  support::DistributionParams dist;
+  dist.kind = support::DistributionKind::kNormal;
+  const UtilityPtr f = generate_utility(100, dist, rng);
+  const auto gs = linearize({f}, {60});
+  EXPECT_NEAR(gs[0].value(60.0), f->value(60.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace aa::util

@@ -1,0 +1,154 @@
+// Tests for the local-search post-processor (aa/local_search.hpp).
+
+#include "aa/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aa/algorithm2.hpp"
+#include "aa/exact.hpp"
+#include "aa/heuristics.hpp"
+#include "aa/refine.hpp"
+#include "support/prng.hpp"
+#include "utility/generator.hpp"
+#include "utility/utility_function.hpp"
+
+namespace aa::core {
+namespace {
+
+using util::CappedLinearUtility;
+
+Instance generated_instance(std::size_t n, std::size_t m, Resource capacity,
+                            std::uint64_t seed) {
+  support::Rng rng(seed);
+  support::DistributionParams dist;
+  dist.kind = support::DistributionKind::kPowerLaw;
+  Instance instance;
+  instance.num_servers = m;
+  instance.capacity = capacity;
+  instance.threads = util::generate_utilities(n, capacity, dist, rng);
+  return instance;
+}
+
+TEST(LocalSearch, NeverWorsensAndStaysValid) {
+  support::Rng heur_rng(1);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Instance instance = generated_instance(15, 3, 40, seed);
+    const Assignment start = heuristic_ru(instance, heur_rng);
+    const double start_utility =
+        total_utility(instance, reoptimize_allocations(instance, start));
+    const LocalSearchResult result = improve_local_search(instance, start);
+    ASSERT_EQ(check_assignment(instance, result.assignment), "");
+    ASSERT_GE(result.utility, start_utility - 1e-9);
+  }
+}
+
+TEST(LocalSearch, FixesTheTightnessInstance) {
+  // Theorem V.17's bad case for Algorithm 2: one swap/move repairs it.
+  Instance instance;
+  instance.num_servers = 2;
+  instance.capacity = 1000;
+  instance.threads = {
+      std::make_shared<CappedLinearUtility>(0.002, 500.0, 1000),
+      std::make_shared<CappedLinearUtility>(0.002, 500.0, 1000),
+      std::make_shared<CappedLinearUtility>(0.001, 1000.0, 1000)};
+  const SolveResult bad = solve_algorithm2(instance);
+  ASSERT_NEAR(bad.utility, 2.5, 1e-9);
+  const LocalSearchResult fixed =
+      improve_local_search(instance, bad.assignment);
+  EXPECT_NEAR(fixed.utility, 3.0, 1e-9);
+  EXPECT_GE(fixed.moves_applied + fixed.swaps_applied, 1u);
+}
+
+TEST(LocalSearch, ReachesExactOptimumOnSmallInstances) {
+  // From a deliberately bad start, move+swap hill climbing should land on
+  // (or extremely near) the optimum for small instances.
+  int optimal_hits = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Instance instance = generated_instance(7, 3, 18, 100 + seed);
+    Assignment start;
+    start.server.assign(7, 0);  // Everyone piled on server 0.
+    start.alloc.assign(7, 0.0);
+    const LocalSearchResult result = improve_local_search(instance, start);
+    const ExactResult exact = solve_exact(instance);
+    ASSERT_LE(result.utility, exact.utility + 1e-7 * (1.0 + exact.utility));
+    if (result.utility >= exact.utility - 1e-6 * (1.0 + exact.utility)) {
+      ++optimal_hits;
+    }
+  }
+  EXPECT_GE(optimal_hits, 8);  // Hill climbing can stall, but rarely here.
+}
+
+TEST(LocalSearch, RespectsDisabledNeighborhoods) {
+  const Instance instance = generated_instance(10, 3, 30, 5);
+  Assignment start;
+  start.server.assign(10, 0);
+  start.alloc.assign(10, 0.0);
+
+  LocalSearchOptions no_moves;
+  no_moves.enable_moves = false;
+  const LocalSearchResult swaps_only =
+      improve_local_search(instance, start, no_moves);
+  // Swapping two threads on the same server set is a no-op from an
+  // all-on-one-server start (swaps need distinct servers), so nothing
+  // improves.
+  EXPECT_EQ(swaps_only.moves_applied, 0u);
+  EXPECT_EQ(swaps_only.swaps_applied, 0u);
+
+  LocalSearchOptions no_swaps;
+  no_swaps.enable_swaps = false;
+  const LocalSearchResult moves_only =
+      improve_local_search(instance, start, no_swaps);
+  EXPECT_EQ(moves_only.swaps_applied, 0u);
+  EXPECT_GT(moves_only.moves_applied, 0u);
+}
+
+TEST(LocalSearch, MaxRoundsBoundsWork) {
+  const Instance instance = generated_instance(12, 3, 30, 6);
+  Assignment start;
+  start.server.assign(12, 0);
+  start.alloc.assign(12, 0.0);
+  LocalSearchOptions one_round;
+  one_round.max_rounds = 1;
+  const LocalSearchResult result =
+      improve_local_search(instance, start, one_round);
+  EXPECT_EQ(result.rounds, 1u);
+}
+
+TEST(LocalSearch, FixedPointOnOptimalStart) {
+  const Instance instance = generated_instance(6, 3, 20, 7);
+  const ExactResult exact = solve_exact(instance);
+  const LocalSearchResult result =
+      improve_local_search(instance, exact.assignment);
+  EXPECT_NEAR(result.utility, exact.utility, 1e-9);
+  EXPECT_EQ(result.moves_applied, 0u);
+  EXPECT_EQ(result.swaps_applied, 0u);
+}
+
+TEST(LocalSearch, ClosesGapAboveRefinedAlgorithm2) {
+  double refined_sum = 0.0;
+  double searched_sum = 0.0;
+  double so_sum = 0.0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Instance instance = generated_instance(24, 4, 60, 200 + seed);
+    const SolveResult refined = solve_algorithm2_refined(instance);
+    const LocalSearchResult searched =
+        improve_local_search(instance, refined.assignment);
+    refined_sum += refined.utility;
+    searched_sum += searched.utility;
+    so_sum += refined.super_optimal_utility;
+  }
+  EXPECT_GE(searched_sum, refined_sum - 1e-9);
+  EXPECT_GE(searched_sum / so_sum, refined_sum / so_sum);
+}
+
+TEST(LocalSearch, RejectsMismatchedStart) {
+  const Instance instance = generated_instance(4, 2, 10, 8);
+  Assignment wrong;
+  EXPECT_THROW((void)improve_local_search(instance, wrong),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aa::core

@@ -1,0 +1,111 @@
+// Tests for miss curves and their utility conversion
+// (cachesim/miss_curve.hpp).
+
+#include "cachesim/miss_curve.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aa::cachesim {
+namespace {
+
+StackDistanceProfile cyclic_profile(std::uint64_t lines, int reps) {
+  Trace trace;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (std::uint64_t line = 0; line < lines; ++line) trace.push_back(line);
+  }
+  return compute_stack_distances(trace);
+}
+
+TEST(MissCurve, GeometryMapsWaysToLines) {
+  // Cyclic over 8 lines: with lines_per_way = 4, two ways fit the working
+  // set (8 lines) and eliminate all but the cold misses.
+  const StackDistanceProfile profile = cyclic_profile(8, 10);
+  const CacheGeometry geometry{.total_ways = 4, .lines_per_way = 4};
+  const MissCurve curve = build_miss_curve(profile, geometry);
+  ASSERT_EQ(curve.misses_by_ways.size(), 5u);
+  EXPECT_EQ(curve.misses_by_ways[0], 80u);  // No cache: every access misses.
+  EXPECT_EQ(curve.misses_by_ways[1], 80u);  // 4 lines < 8: LRU thrash.
+  EXPECT_EQ(curve.misses_by_ways[2], 8u);   // 8 lines: only cold misses.
+  EXPECT_EQ(curve.misses_by_ways[4], 8u);
+}
+
+TEST(MissCurve, MissRatio) {
+  const StackDistanceProfile profile = cyclic_profile(8, 10);
+  const CacheGeometry geometry{.total_ways = 4, .lines_per_way = 4};
+  const MissCurve curve = build_miss_curve(profile, geometry);
+  EXPECT_DOUBLE_EQ(curve.miss_ratio(0), 1.0);
+  EXPECT_DOUBLE_EQ(curve.miss_ratio(2), 0.1);
+  EXPECT_DOUBLE_EQ(curve.miss_ratio(100), 0.1);  // Clamped to max ways.
+}
+
+TEST(MissCurve, ThroughputIncreasesWithWays) {
+  const StackDistanceProfile profile = cyclic_profile(8, 10);
+  const CacheGeometry geometry{.total_ways = 4, .lines_per_way = 4};
+  const MissCurve curve = build_miss_curve(profile, geometry);
+  const PerfModel model;
+  double prev = curve.throughput(0, model);
+  for (std::uint64_t w = 1; w <= 4; ++w) {
+    const double cur = curve.throughput(w, model);
+    ASSERT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(MissCurve, ThroughputFormula) {
+  // 80 accesses, 8 misses at 2 ways, hit_cost 1, penalty 40, ipc 4:
+  // cycles = 80 + 320 = 400; throughput = 4 * 80 / 400 = 0.8.
+  const StackDistanceProfile profile = cyclic_profile(8, 10);
+  const CacheGeometry geometry{.total_ways = 4, .lines_per_way = 4};
+  const MissCurve curve = build_miss_curve(profile, geometry);
+  const PerfModel model;
+  EXPECT_NEAR(curve.throughput(2, model), 0.8, 1e-12);
+}
+
+TEST(MissCurve, EmptyTraceYieldsZeroThroughput) {
+  const StackDistanceProfile profile = compute_stack_distances({});
+  const CacheGeometry geometry{.total_ways = 2, .lines_per_way = 4};
+  const MissCurve curve = build_miss_curve(profile, geometry);
+  EXPECT_DOUBLE_EQ(curve.throughput(1, PerfModel{}), 0.0);
+  EXPECT_DOUBLE_EQ(curve.miss_ratio(1), 0.0);
+}
+
+TEST(MissCurve, RejectsDegenerateGeometry) {
+  const StackDistanceProfile profile = cyclic_profile(4, 2);
+  EXPECT_THROW(
+      (void)build_miss_curve(profile, {.total_ways = 0, .lines_per_way = 4}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)build_miss_curve(profile, {.total_ways = 4, .lines_per_way = 0}),
+      std::invalid_argument);
+}
+
+TEST(UtilityFromCurve, ProducesValidConcaveUtility) {
+  support::Rng rng(10);
+  const Trace trace =
+      generate_trace(TraceConfig::mixed(32, 256, 2048, 30000), rng);
+  const MissCurve curve = build_miss_curve(
+      compute_stack_distances(trace),
+      {.total_ways = 16, .lines_per_way = 64});
+  const util::UtilityPtr utility =
+      utility_from_miss_curve(curve, PerfModel{});
+  ASSERT_EQ(utility->capacity(), 16);
+  EXPECT_TRUE(util::is_valid_on_grid(*utility, 1e-9));
+}
+
+TEST(UtilityFromCurve, TracksRawThroughputWithinProjectionGap) {
+  // The concave projection may flatten cliffs, but endpoints and monotone
+  // envelope must stay close to raw throughput (here the raw curve is
+  // already concave-ish, so the gap is small).
+  const StackDistanceProfile profile = cyclic_profile(8, 10);
+  const CacheGeometry geometry{.total_ways = 4, .lines_per_way = 4};
+  const MissCurve curve = build_miss_curve(profile, geometry);
+  const PerfModel model;
+  const util::UtilityPtr utility = utility_from_miss_curve(curve, model);
+  EXPECT_NEAR(utility->value(4.0), curve.throughput(4, model), 1e-9);
+  // The projection preserves the total increase (PAV preserves sums).
+  EXPECT_NEAR(utility->value(4.0) - utility->value(0.0),
+              curve.throughput(4, model) - curve.throughput(0, model), 1e-9);
+}
+
+}  // namespace
+}  // namespace aa::cachesim

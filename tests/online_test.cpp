@@ -1,0 +1,132 @@
+// Tests for the online/dynamic extension (aa/online.hpp).
+
+#include "aa/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/prng.hpp"
+#include "utility/generator.hpp"
+
+namespace aa::core {
+namespace {
+
+Instance base_instance(std::size_t n, std::size_t m, Resource capacity,
+                       std::uint64_t seed) {
+  support::Rng rng(seed);
+  support::DistributionParams dist;
+  dist.kind = support::DistributionKind::kPowerLaw;
+  Instance instance;
+  instance.num_servers = m;
+  instance.capacity = capacity;
+  instance.threads = util::generate_utilities(n, capacity, dist, rng);
+  return instance;
+}
+
+TEST(Online, ResolveTracksOracleExactly) {
+  const Instance base = base_instance(12, 3, 50, 1);
+  OnlineConfig config;
+  config.epochs = 10;
+  support::Rng rng(5);
+  const OnlineResult result =
+      run_online(base, OnlinePolicy::kResolve, config, rng);
+  EXPECT_NEAR(result.total_utility, result.oracle_utility, 1e-9);
+  EXPECT_DOUBLE_EQ(result.utility_fraction(), 1.0);
+}
+
+TEST(Online, StaticNeverMigrates) {
+  const Instance base = base_instance(12, 3, 50, 2);
+  OnlineConfig config;
+  config.epochs = 15;
+  support::Rng rng(6);
+  const OnlineResult result =
+      run_online(base, OnlinePolicy::kStatic, config, rng);
+  EXPECT_EQ(result.migrations, 0u);
+  EXPECT_LE(result.total_utility, result.oracle_utility + 1e-9);
+}
+
+TEST(Online, PolicyOrderingOnIdenticalDrift) {
+  // With the same drift sequence: static <= sticky <= resolve on utility,
+  // and sticky migrates no more than resolve.
+  const Instance base = base_instance(16, 4, 60, 3);
+  OnlineConfig config;
+  config.epochs = 25;
+  config.drift_sigma = 0.4;
+
+  support::Rng rng_static(42);
+  support::Rng rng_sticky(42);
+  support::Rng rng_resolve(42);
+  const OnlineResult st =
+      run_online(base, OnlinePolicy::kStatic, config, rng_static);
+  const OnlineResult sk =
+      run_online(base, OnlinePolicy::kSticky, config, rng_sticky);
+  const OnlineResult rs =
+      run_online(base, OnlinePolicy::kResolve, config, rng_resolve);
+
+  // Identical drift -> identical oracle streams.
+  ASSERT_NEAR(st.oracle_utility, rs.oracle_utility, 1e-9);
+  ASSERT_NEAR(sk.oracle_utility, rs.oracle_utility, 1e-9);
+
+  EXPECT_LE(st.total_utility, sk.total_utility + 1e-9);
+  EXPECT_LE(sk.total_utility, rs.total_utility + 1e-9);
+  EXPECT_LE(sk.migrations, rs.migrations);
+}
+
+TEST(Online, StickyStaysCloseToOracleWithFewerMigrations) {
+  const Instance base = base_instance(20, 4, 50, 4);
+  OnlineConfig config;
+  config.epochs = 30;
+  config.drift_sigma = 0.3;
+  config.hysteresis = 0.05;
+  support::Rng rng(77);
+  const OnlineResult sticky =
+      run_online(base, OnlinePolicy::kSticky, config, rng);
+  // The 5% hysteresis bounds the per-epoch loss, so the aggregate fraction
+  // must stay above 1 / 1.05.
+  EXPECT_GE(sticky.utility_fraction(), 1.0 / 1.05 - 1e-9);
+}
+
+TEST(Online, ZeroEpochsYieldsEmptyResult) {
+  const Instance base = base_instance(5, 2, 20, 5);
+  OnlineConfig config;
+  config.epochs = 0;
+  support::Rng rng(1);
+  const OnlineResult result =
+      run_online(base, OnlinePolicy::kResolve, config, rng);
+  EXPECT_DOUBLE_EQ(result.total_utility, 0.0);
+  EXPECT_DOUBLE_EQ(result.oracle_utility, 0.0);
+  EXPECT_EQ(result.migrations, 0u);
+  EXPECT_DOUBLE_EQ(result.utility_fraction(), 1.0);
+}
+
+TEST(Online, DriftRespectsClamps) {
+  // Extreme drift with tight clamps must not blow up utilities: achieved
+  // utility per epoch is bounded by factor_max times the base bound.
+  const Instance base = base_instance(8, 2, 30, 6);
+  OnlineConfig config;
+  config.epochs = 10;
+  config.drift_sigma = 5.0;
+  config.factor_min = 0.5;
+  config.factor_max = 2.0;
+  support::Rng rng(9);
+  const OnlineResult result =
+      run_online(base, OnlinePolicy::kResolve, config, rng);
+  EXPECT_GT(result.total_utility, 0.0);
+  EXPECT_LE(result.total_utility, result.oracle_utility + 1e-9);
+}
+
+TEST(Online, DeterministicGivenSeed) {
+  const Instance base = base_instance(10, 3, 40, 7);
+  OnlineConfig config;
+  config.epochs = 12;
+  support::Rng rng1(123);
+  support::Rng rng2(123);
+  const OnlineResult a =
+      run_online(base, OnlinePolicy::kSticky, config, rng1);
+  const OnlineResult b =
+      run_online(base, OnlinePolicy::kSticky, config, rng2);
+  EXPECT_DOUBLE_EQ(a.total_utility, b.total_utility);
+  EXPECT_EQ(a.migrations, b.migrations);
+}
+
+}  // namespace
+}  // namespace aa::core

@@ -1,0 +1,145 @@
+// Direct checks of the paper's intermediate lemmas on randomized instances
+// — beyond the end-to-end approximation property, these pin the *internal*
+// structure the proofs rely on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "aa/algorithm2.hpp"
+#include "alloc/super_optimal.hpp"
+#include "support/prng.hpp"
+#include "utility/generator.hpp"
+
+namespace aa::core {
+namespace {
+
+struct RunArtifacts {
+  Instance instance;
+  std::vector<Resource> c_hat;
+  std::vector<util::Linearized> linearized;
+  Assignment assignment;
+};
+
+RunArtifacts run_algorithm2(std::size_t n, std::size_t m, Resource capacity,
+                            support::DistributionKind kind,
+                            std::uint64_t seed) {
+  support::Rng rng(seed);
+  support::DistributionParams dist;
+  dist.kind = kind;
+  RunArtifacts artifacts;
+  artifacts.instance.num_servers = m;
+  artifacts.instance.capacity = capacity;
+  artifacts.instance.threads =
+      util::generate_utilities(n, capacity, dist, rng);
+  alloc::SuperOptimalResult so = alloc::super_optimal(
+      artifacts.instance.threads, m, capacity);
+  artifacts.c_hat = std::move(so.c_hat);
+  artifacts.linearized =
+      util::linearize(artifacts.instance.threads, artifacts.c_hat);
+  artifacts.assignment =
+      assign_algorithm2(artifacts.instance, artifacts.linearized);
+  return artifacts;
+}
+
+class PaperLemmas : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaperLemmas,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST_P(PaperLemmas, LemmaV5AtMostOneUnfullThreadPerServer) {
+  const RunArtifacts a = run_algorithm2(
+      21, 4, 60, support::DistributionKind::kPowerLaw, 10 + GetParam());
+  std::vector<int> unfull(a.instance.num_servers, 0);
+  for (std::size_t i = 0; i < a.assignment.size(); ++i) {
+    if (a.assignment.alloc[i] < static_cast<double>(a.c_hat[i]) - 0.5) {
+      ++unfull[a.assignment.server[i]];
+    }
+  }
+  for (const int count : unfull) ASSERT_LE(count, 1);
+}
+
+TEST_P(PaperLemmas, LemmaV7UnfullThreadsKeepTheirShareFraction) {
+  // sum_{i in E} c_i >= (|E| / m) * sum_{i in E} c_hat_i.
+  const RunArtifacts a = run_algorithm2(
+      26, 4, 50, support::DistributionKind::kUniform, 40 + GetParam());
+  double unfull_allocated = 0.0;
+  double unfull_demand = 0.0;
+  std::size_t unfull_count = 0;
+  for (std::size_t i = 0; i < a.assignment.size(); ++i) {
+    if (a.assignment.alloc[i] < static_cast<double>(a.c_hat[i]) - 0.5) {
+      unfull_allocated += a.assignment.alloc[i];
+      unfull_demand += static_cast<double>(a.c_hat[i]);
+      ++unfull_count;
+    }
+  }
+  if (unfull_count == 0) return;  // Vacuous for this seed.
+  const double m = static_cast<double>(a.instance.num_servers);
+  ASSERT_GE(unfull_allocated,
+            (static_cast<double>(unfull_count) / m) * unfull_demand - 1e-6);
+}
+
+TEST_P(PaperLemmas, LemmaV8FirstMThreadsHaveMaximalPeaks) {
+  // All unfull threads' peaks are bounded by the smallest full thread's
+  // peak among the top-m (the gamma bound used by Corollary V.9).
+  const RunArtifacts a = run_algorithm2(
+      18, 3, 40, support::DistributionKind::kNormal, 70 + GetParam());
+  std::size_t full_count = 0;
+  double max_unfull_peak = 0.0;
+  for (std::size_t i = 0; i < a.assignment.size(); ++i) {
+    const bool full =
+        a.assignment.alloc[i] >= static_cast<double>(a.c_hat[i]) - 0.5;
+    if (full) {
+      ++full_count;
+    } else {
+      max_unfull_peak = std::max(max_unfull_peak, a.linearized[i].peak);
+    }
+  }
+  ASSERT_GE(full_count, std::min<std::size_t>(18, 3));
+  // gamma = max unfull peak; at least m full threads have peak >= gamma.
+  std::size_t full_above_gamma = 0;
+  for (std::size_t i = 0; i < a.assignment.size(); ++i) {
+    const bool full =
+        a.assignment.alloc[i] >= static_cast<double>(a.c_hat[i]) - 0.5;
+    if (full && a.linearized[i].peak >= max_unfull_peak - 1e-9) {
+      ++full_above_gamma;
+    }
+  }
+  ASSERT_GE(full_above_gamma, std::min<std::size_t>(18, 3));
+}
+
+TEST_P(PaperLemmas, LemmaV10HigherDensityUnfullThreadsGetMore) {
+  // For any two unfull threads, higher ramp density implies >= allocation.
+  const RunArtifacts a = run_algorithm2(
+      30, 4, 40, support::DistributionKind::kDiscrete, 100 + GetParam());
+  std::vector<std::size_t> unfull;
+  for (std::size_t i = 0; i < a.assignment.size(); ++i) {
+    if (a.assignment.alloc[i] < static_cast<double>(a.c_hat[i]) - 0.5 &&
+        a.c_hat[i] > 0) {
+      unfull.push_back(i);
+    }
+  }
+  for (const std::size_t i : unfull) {
+    for (const std::size_t j : unfull) {
+      if (a.linearized[i].density() > a.linearized[j].density() + 1e-9) {
+        ASSERT_GE(a.assignment.alloc[i], a.assignment.alloc[j] - 1e-9)
+            << "thread " << i << " vs " << j;
+      }
+    }
+  }
+}
+
+TEST_P(PaperLemmas, SuperOptimalPoolFullyUsedForStrictlyIncreasingUtilities) {
+  // Lemma V.3 analogue for generated utilities (strictly increasing with
+  // probability 1 when demand exceeds supply): sum c_hat == m*C.
+  const RunArtifacts a = run_algorithm2(
+      40, 4, 30, support::DistributionKind::kUniform, 130 + GetParam());
+  const Resource used = std::accumulate(a.c_hat.begin(), a.c_hat.end(),
+                                        Resource{0});
+  ASSERT_EQ(used, 4 * 30);
+}
+
+}  // namespace
+}  // namespace aa::core

@@ -1,0 +1,146 @@
+// Tests for the AA problem model (aa/problem.hpp).
+
+#include "aa/problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "utility/utility_function.hpp"
+
+namespace aa::core {
+namespace {
+
+using util::PowerUtility;
+
+Instance small_instance() {
+  Instance instance;
+  instance.num_servers = 2;
+  instance.capacity = 10;
+  instance.threads = {std::make_shared<PowerUtility>(1.0, 0.5, 10),
+                      std::make_shared<PowerUtility>(2.0, 0.5, 10),
+                      std::make_shared<PowerUtility>(1.0, 1.0, 10)};
+  return instance;
+}
+
+TEST(InstanceValidate, AcceptsWellFormed) {
+  EXPECT_NO_THROW(small_instance().validate());
+}
+
+TEST(InstanceValidate, RejectsZeroServers) {
+  Instance instance = small_instance();
+  instance.num_servers = 0;
+  EXPECT_THROW(instance.validate(), std::invalid_argument);
+}
+
+TEST(InstanceValidate, RejectsNegativeCapacity) {
+  Instance instance = small_instance();
+  instance.capacity = -1;
+  EXPECT_THROW(instance.validate(), std::invalid_argument);
+}
+
+TEST(InstanceValidate, RejectsNullThread) {
+  Instance instance = small_instance();
+  instance.threads[1] = nullptr;
+  EXPECT_THROW(instance.validate(), std::invalid_argument);
+}
+
+TEST(InstanceValidate, RejectsUndersizedUtilityDomain) {
+  Instance instance = small_instance();
+  instance.threads[0] = std::make_shared<PowerUtility>(1.0, 0.5, 5);
+  EXPECT_THROW(instance.validate(), std::invalid_argument);
+}
+
+TEST(TotalUtility, SumsPerThreadValues) {
+  const Instance instance = small_instance();
+  Assignment assignment;
+  assignment.server = {0, 1, 0};
+  assignment.alloc = {4.0, 9.0, 6.0};
+  EXPECT_DOUBLE_EQ(total_utility(instance, assignment), 2.0 + 6.0 + 6.0);
+}
+
+TEST(TotalUtility, RejectsSizeMismatch) {
+  const Instance instance = small_instance();
+  Assignment assignment;
+  assignment.server = {0, 1};
+  assignment.alloc = {1.0, 1.0};
+  EXPECT_THROW((void)total_utility(instance, assignment),
+               std::invalid_argument);
+}
+
+TEST(CheckAssignment, AcceptsValid) {
+  const Instance instance = small_instance();
+  Assignment assignment;
+  assignment.server = {0, 1, 0};
+  assignment.alloc = {4.0, 10.0, 6.0};
+  EXPECT_TRUE(check_assignment(instance, assignment).empty());
+  EXPECT_NO_THROW(require_valid(instance, assignment));
+}
+
+TEST(CheckAssignment, DetectsOverload) {
+  const Instance instance = small_instance();
+  Assignment assignment;
+  assignment.server = {0, 0, 0};
+  assignment.alloc = {4.0, 4.0, 4.0};
+  const std::string error = check_assignment(instance, assignment);
+  EXPECT_NE(error.find("overloaded"), std::string::npos);
+  EXPECT_THROW(require_valid(instance, assignment), std::runtime_error);
+}
+
+TEST(CheckAssignment, DetectsBadServerIndex) {
+  const Instance instance = small_instance();
+  Assignment assignment;
+  assignment.server = {0, 2, 0};
+  assignment.alloc = {1.0, 1.0, 1.0};
+  EXPECT_NE(check_assignment(instance, assignment).find("nonexistent"),
+            std::string::npos);
+}
+
+TEST(CheckAssignment, DetectsNegativeAllocation) {
+  const Instance instance = small_instance();
+  Assignment assignment;
+  assignment.server = {0, 1, 0};
+  assignment.alloc = {1.0, -2.0, 1.0};
+  EXPECT_NE(check_assignment(instance, assignment).find("negative"),
+            std::string::npos);
+}
+
+TEST(CheckAssignment, DetectsSizeMismatch) {
+  const Instance instance = small_instance();
+  Assignment assignment;
+  EXPECT_FALSE(check_assignment(instance, assignment).empty());
+}
+
+TEST(CheckAssignment, ToleratesFractionalRounding) {
+  const Instance instance = small_instance();
+  Assignment assignment;
+  assignment.server = {0, 0, 0};
+  // Three thirds of 10 sum to 10 + epsilon in floating point.
+  const double third = 10.0 / 3.0;
+  assignment.alloc = {third, third, third + 1e-12};
+  EXPECT_TRUE(check_assignment(instance, assignment).empty());
+}
+
+TEST(ServerLoads, AggregatesByServer) {
+  const Instance instance = small_instance();
+  Assignment assignment;
+  assignment.server = {0, 1, 1};
+  assignment.alloc = {2.0, 3.0, 4.0};
+  const std::vector<double> loads = server_loads(instance, assignment);
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_DOUBLE_EQ(loads[0], 2.0);
+  EXPECT_DOUBLE_EQ(loads[1], 7.0);
+}
+
+TEST(Instance, EmptyThreadListIsValid) {
+  Instance instance;
+  instance.num_servers = 1;
+  instance.capacity = 5;
+  EXPECT_NO_THROW(instance.validate());
+  Assignment empty;
+  EXPECT_TRUE(check_assignment(instance, empty).empty());
+  EXPECT_DOUBLE_EQ(total_utility(instance, empty), 0.0);
+}
+
+}  // namespace
+}  // namespace aa::core

@@ -1,0 +1,139 @@
+// Tests for the set-associative way-partitioned cache simulator
+// (cachesim/set_assoc_cache.hpp), including cross-validation against the
+// Mattson stack-distance model.
+
+#include "cachesim/set_assoc_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cachesim/stack_distance.hpp"
+
+namespace aa::cachesim {
+namespace {
+
+TEST(SetAssoc, ColdMissesThenHits) {
+  SetAssocCache cache({.num_sets = 4, .num_ways = 2}, 2);
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_FALSE(cache.access(4));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_TRUE(cache.access(4));
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(SetAssoc, LruEvictionWithinSet) {
+  // One set (num_sets = 1), 2 ways: lines 0, 1, then 2 evicts 0 (LRU).
+  SetAssocCache cache({.num_sets = 1, .num_ways = 2}, 2);
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_FALSE(cache.access(2));  // Evicts 0.
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_TRUE(cache.access(2));
+  EXPECT_FALSE(cache.access(0));  // 0 was evicted.
+}
+
+TEST(SetAssoc, TouchRefreshesLru) {
+  SetAssocCache cache({.num_sets = 1, .num_ways = 2}, 2);
+  (void)cache.access(0);
+  (void)cache.access(1);
+  (void)cache.access(0);          // Refresh 0: now 1 is LRU.
+  (void)cache.access(2);          // Evicts 1.
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_FALSE(cache.access(1));
+}
+
+TEST(SetAssoc, ZeroOwnedWaysAlwaysMisses) {
+  SetAssocCache cache({.num_sets = 8, .num_ways = 4}, 0);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(cache.access(0));
+  EXPECT_EQ(cache.misses(), 10u);
+}
+
+TEST(SetAssoc, SetIndexingSeparatesConflicts) {
+  // Lines 0 and 1 land in different sets (num_sets = 2) and never conflict
+  // even with a single way.
+  SetAssocCache cache({.num_sets = 2, .num_ways = 1}, 1);
+  (void)cache.access(0);
+  (void)cache.access(1);
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_TRUE(cache.access(1));
+  // Lines 0 and 2 share set 0 and thrash with one way.
+  EXPECT_FALSE(cache.access(2));
+  EXPECT_FALSE(cache.access(0));
+}
+
+TEST(SetAssoc, ResetClearsState) {
+  SetAssocCache cache({.num_sets = 2, .num_ways = 2}, 2);
+  (void)cache.access(0);
+  (void)cache.access(0);
+  cache.reset();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_FALSE(cache.access(0));  // Cold again.
+}
+
+TEST(SetAssoc, RunReturnsTraceMisses) {
+  SetAssocCache cache({.num_sets = 2, .num_ways = 2}, 2);
+  const Trace trace{0, 1, 0, 1, 2, 0};
+  EXPECT_EQ(cache.run(trace), 3u);  // 0, 1, 2 cold; rest hit.
+}
+
+TEST(SetAssoc, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssocCache({.num_sets = 3, .num_ways = 2}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(SetAssocCache({.num_sets = 4, .num_ways = 0}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(SetAssocCache({.num_sets = 4, .num_ways = 2}, 3),
+               std::invalid_argument);
+}
+
+TEST(SetAssoc, MeasuredCurveIsMonotone) {
+  support::Rng rng(1);
+  const Trace trace =
+      generate_trace(TraceConfig::mixed(32, 128, 1024, 20000), rng);
+  const SetAssocConfig config{.num_sets = 64, .num_ways = 8};
+  const auto curve = measure_miss_curve(trace, config);
+  ASSERT_EQ(curve.size(), 9u);
+  for (std::size_t w = 1; w < curve.size(); ++w) {
+    ASSERT_LE(curve[w], curve[w - 1]) << "ways " << w;
+  }
+  EXPECT_EQ(curve[0], trace.size());
+}
+
+TEST(SetAssoc, AgreesWithStackDistanceModelOnUniformSets) {
+  // For traces whose working set spreads evenly over sets, the
+  // fully-associative model at w*num_sets lines should approximate the
+  // set-associative measurement at w ways. Validate within 10% of total
+  // accesses for a smooth mixed workload.
+  support::Rng rng(2);
+  const SetAssocConfig config{.num_sets = 64, .num_ways = 8};
+  const Trace trace =
+      generate_trace(TraceConfig::mixed(128, 256, 2048, 30000), rng);
+  const auto measured = measure_miss_curve(trace, config);
+  const StackDistanceProfile profile = compute_stack_distances(trace);
+  for (std::uint64_t ways = 0; ways <= config.num_ways; ++ways) {
+    const std::uint64_t predicted =
+        ways == 0 ? trace.size() : profile.misses_at(ways * config.num_sets);
+    const double diff =
+        std::abs(static_cast<double>(predicted) -
+                 static_cast<double>(measured[ways]));
+    ASSERT_LE(diff, 0.1 * static_cast<double>(trace.size()))
+        << "ways " << ways << ": predicted " << predicted << " measured "
+        << measured[ways];
+  }
+}
+
+TEST(SetAssoc, FullyAssociativeLimitMatchesModelExactly) {
+  // num_sets = 1 makes the cache fully associative: the stack-distance
+  // model is then exact.
+  support::Rng rng(3);
+  const Trace trace = generate_trace(TraceConfig::mixed(8, 24, 96, 4000), rng);
+  const SetAssocConfig config{.num_sets = 1, .num_ways = 32};
+  const auto measured = measure_miss_curve(trace, config);
+  const StackDistanceProfile profile = compute_stack_distances(trace);
+  for (std::uint64_t ways = 1; ways <= config.num_ways; ++ways) {
+    ASSERT_EQ(measured[ways], profile.misses_at(ways)) << "ways " << ways;
+  }
+}
+
+}  // namespace
+}  // namespace aa::cachesim

@@ -1,0 +1,120 @@
+// Cross-solver integration torture test: every solver in the library runs
+// on the same randomized instances, and the full chain of dominance and
+// validity invariants must hold simultaneously:
+//
+//   exact >= search >= refined >= raw alg2 (utility ordering)
+//   exact >= alpha^-1 * ... (approximation bounds both ways)
+//   every assignment structurally valid
+//   heuristics never beat exact
+//   serialization round-trip preserves solver results
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "aa/algorithm1.hpp"
+#include "aa/algorithm2.hpp"
+#include "aa/coschedule.hpp"
+#include "aa/exact.hpp"
+#include "aa/heuristics.hpp"
+#include "aa/local_search.hpp"
+#include "aa/refine.hpp"
+#include "io/instance_io.hpp"
+#include "support/prng.hpp"
+#include "utility/generator.hpp"
+
+namespace aa::core {
+namespace {
+
+using Param = std::tuple<support::DistributionKind, std::uint64_t>;
+
+class SolverTorture : public ::testing::TestWithParam<Param> {
+ protected:
+  [[nodiscard]] Instance make_instance(std::size_t n, std::size_t m,
+                                       Resource capacity) const {
+    const auto& [kind, seed] = GetParam();
+    support::Rng rng(seed * 31 + 7);
+    support::DistributionParams dist;
+    dist.kind = kind;
+    Instance instance;
+    instance.num_servers = m;
+    instance.capacity = capacity;
+    instance.threads = util::generate_utilities(n, capacity, dist, rng);
+    return instance;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SolverTorture,
+    ::testing::Combine(
+        ::testing::Values(support::DistributionKind::kUniform,
+                          support::DistributionKind::kPowerLaw,
+                          support::DistributionKind::kDiscrete),
+        ::testing::Range<std::uint64_t>(0, 4)));
+
+TEST_P(SolverTorture, FullDominanceChainOnSmallInstances) {
+  const Instance instance = make_instance(8, 3, 24);
+  const double tol = 1e-7;
+
+  const SolveResult raw = solve_algorithm2(instance);
+  const SolveResult refined = solve_algorithm2_refined(instance);
+  const LocalSearchResult searched =
+      improve_local_search(instance, refined.assignment);
+  const ExactResult exact = solve_exact(instance);
+  const SolveResult alg1 = solve_algorithm1_refined(instance);
+
+  // Validity for everything.
+  ASSERT_EQ(check_assignment(instance, raw.assignment), "");
+  ASSERT_EQ(check_assignment(instance, refined.assignment), "");
+  ASSERT_EQ(check_assignment(instance, searched.assignment), "");
+  ASSERT_EQ(check_assignment(instance, exact.assignment), "");
+  ASSERT_EQ(check_assignment(instance, alg1.assignment), "");
+
+  const double scale = 1.0 + exact.utility;
+  // Dominance chain.
+  ASSERT_LE(raw.utility, refined.utility + tol * scale);
+  ASSERT_LE(refined.utility, searched.utility + tol * scale);
+  ASSERT_LE(searched.utility, exact.utility + tol * scale);
+  ASSERT_LE(alg1.utility, exact.utility + tol * scale);
+  // Approximation guarantees.
+  ASSERT_GE(raw.utility, kApproximationRatio * exact.utility - tol * scale);
+  ASSERT_GE(alg1.utility, kApproximationRatio * exact.utility - tol * scale);
+  // Exact never exceeds the super-optimal relaxation.
+  ASSERT_LE(exact.utility, raw.super_optimal_utility + tol * scale);
+}
+
+TEST_P(SolverTorture, HeuristicsNeverBeatExact) {
+  const Instance instance = make_instance(7, 3, 20);
+  const ExactResult exact = solve_exact(instance);
+  support::Rng rng(std::get<1>(GetParam()) + 99);
+  const double tol = 1e-7 * (1.0 + exact.utility);
+  EXPECT_LE(total_utility(instance, heuristic_uu(instance)),
+            exact.utility + tol);
+  EXPECT_LE(total_utility(instance, heuristic_ur(instance, rng)),
+            exact.utility + tol);
+  EXPECT_LE(total_utility(instance, heuristic_ru(instance, rng)),
+            exact.utility + tol);
+  EXPECT_LE(total_utility(instance, heuristic_rr(instance, rng)),
+            exact.utility + tol);
+}
+
+TEST_P(SolverTorture, PairCoschedulingBoundedByExact) {
+  const Instance instance = make_instance(6, 3, 18);
+  const CoScheduleResult pairs = coschedule_exact_pairs(instance);
+  const ExactResult exact = solve_exact(instance);
+  EXPECT_LE(pairs.utility, exact.utility + 1e-7 * (1.0 + exact.utility));
+}
+
+TEST_P(SolverTorture, SerializationPreservesSolverBehaviour) {
+  const Instance instance = make_instance(10, 3, 30);
+  const Instance reloaded =
+      io::instance_from_json(io::instance_to_json(instance));
+  const SolveResult original = solve_algorithm2_refined(instance);
+  const SolveResult roundtrip = solve_algorithm2_refined(reloaded);
+  EXPECT_EQ(original.assignment.server, roundtrip.assignment.server);
+  EXPECT_NEAR(original.utility, roundtrip.utility,
+              1e-9 * (1.0 + original.utility));
+}
+
+}  // namespace
+}  // namespace aa::core

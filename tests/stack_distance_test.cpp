@@ -1,0 +1,108 @@
+// Tests for the Mattson stack-distance engine (cachesim/stack_distance.hpp).
+
+#include "cachesim/stack_distance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aa::cachesim {
+namespace {
+
+TEST(StackDistance, EmptyTrace) {
+  const StackDistanceProfile p = compute_stack_distances({});
+  EXPECT_EQ(p.total_accesses, 0u);
+  EXPECT_EQ(p.cold_accesses, 0u);
+}
+
+TEST(StackDistance, AllColdOnSequentialTrace) {
+  const StackDistanceProfile p =
+      compute_stack_distances(sequential_trace(50));
+  EXPECT_EQ(p.total_accesses, 50u);
+  EXPECT_EQ(p.cold_accesses, 50u);
+  EXPECT_EQ(p.footprint(), 50u);
+}
+
+TEST(StackDistance, ImmediateReuseIsDistanceOne) {
+  const Trace trace{1, 1, 1};
+  const StackDistanceProfile p = compute_stack_distances(trace);
+  EXPECT_EQ(p.cold_accesses, 1u);
+  ASSERT_GE(p.histogram.size(), 2u);
+  EXPECT_EQ(p.histogram[1], 2u);
+}
+
+TEST(StackDistance, HandComputedExample) {
+  // Trace a b c a b b: distances for the reuses:
+  //   a (after b, c)  -> 3
+  //   b (after c, a)  -> 3
+  //   b (immediately) -> 1
+  const Trace trace{10, 20, 30, 10, 20, 20};
+  const StackDistanceProfile p = compute_stack_distances(trace);
+  EXPECT_EQ(p.cold_accesses, 3u);
+  ASSERT_GE(p.histogram.size(), 4u);
+  EXPECT_EQ(p.histogram[1], 1u);
+  EXPECT_EQ(p.histogram[3], 2u);
+}
+
+TEST(StackDistance, CyclicPatternHasConstantDistance) {
+  // Repeating 0 1 2 3 0 1 2 3 ... every reuse has distance 4.
+  Trace trace;
+  for (int rep = 0; rep < 10; ++rep) {
+    for (std::uint64_t line = 0; line < 4; ++line) trace.push_back(line);
+  }
+  const StackDistanceProfile p = compute_stack_distances(trace);
+  EXPECT_EQ(p.cold_accesses, 4u);
+  EXPECT_EQ(p.histogram[4], 36u);
+}
+
+TEST(StackDistance, MissCountsFollowFromHistogram) {
+  Trace trace;
+  for (int rep = 0; rep < 10; ++rep) {
+    for (std::uint64_t line = 0; line < 4; ++line) trace.push_back(line);
+  }
+  const StackDistanceProfile p = compute_stack_distances(trace);
+  // Cache >= 4 lines: only the 4 cold misses. Cache 3 lines: everything
+  // misses (LRU thrashing on a cyclic pattern).
+  EXPECT_EQ(p.misses_at(4), 4u);
+  EXPECT_EQ(p.misses_at(100), 4u);
+  EXPECT_EQ(p.misses_at(3), 40u);
+  EXPECT_EQ(p.misses_at(0), 40u);
+}
+
+TEST(StackDistance, MissCurveIsNonincreasingInCacheSize) {
+  support::Rng rng(7);
+  const Trace trace =
+      generate_trace(TraceConfig::mixed(16, 128, 1024, 20000), rng);
+  const StackDistanceProfile p = compute_stack_distances(trace);
+  std::uint64_t prev = p.misses_at(0);
+  for (std::uint64_t size = 1; size <= 1200; size += 13) {
+    const std::uint64_t cur = p.misses_at(size);
+    ASSERT_LE(cur, prev) << "size " << size;
+    prev = cur;
+  }
+}
+
+TEST(StackDistance, FenwickMatchesNaiveOracle) {
+  support::Rng rng(8);
+  const Trace trace =
+      generate_trace(TraceConfig::mixed(8, 32, 128, 3000), rng);
+  const StackDistanceProfile fast = compute_stack_distances(trace);
+  const StackDistanceProfile naive = compute_stack_distances_naive(trace);
+  EXPECT_EQ(fast.cold_accesses, naive.cold_accesses);
+  EXPECT_EQ(fast.total_accesses, naive.total_accesses);
+  ASSERT_EQ(fast.histogram.size(), naive.histogram.size());
+  for (std::size_t d = 0; d < fast.histogram.size(); ++d) {
+    ASSERT_EQ(fast.histogram[d], naive.histogram[d]) << "distance " << d;
+  }
+}
+
+TEST(StackDistance, HistogramTotalsAddUp) {
+  support::Rng rng(9);
+  const Trace trace =
+      generate_trace(TraceConfig::cache_friendly(32, 5000), rng);
+  const StackDistanceProfile p = compute_stack_distances(trace);
+  std::uint64_t reuses = 0;
+  for (const std::uint64_t count : p.histogram) reuses += count;
+  EXPECT_EQ(reuses + p.cold_accesses, p.total_accesses);
+}
+
+}  // namespace
+}  // namespace aa::cachesim

@@ -1,0 +1,132 @@
+// Tests for the streaming statistics accumulator (support/stats.hpp).
+
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/prng.hpp"
+
+namespace aa::support {
+namespace {
+
+TEST(RunningStats, EmptyAccumulator) {
+  const RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(42.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 42.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squares = 32 -> 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(55);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.normal(3.0, 2.0));
+
+  RunningStats sequential;
+  for (const double v : values) sequential.add(v);
+
+  RunningStats left;
+  RunningStats right;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i < 400 ? left : right).add(values[i]);
+  }
+  left.merge(right);
+
+  EXPECT_EQ(left.count(), sequential.count());
+  EXPECT_NEAR(left.mean(), sequential.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), sequential.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(left.max(), sequential.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(2.0);
+  const double mean_before = stats.mean();
+  RunningStats empty;
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), mean_before);
+
+  RunningStats target;
+  target.merge(stats);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), mean_before);
+}
+
+TEST(RunningStats, StderrShrinksWithSamples) {
+  RunningStats small;
+  RunningStats large;
+  Rng rng(66);
+  for (int i = 0; i < 10; ++i) small.add(rng.normal());
+  for (int i = 0; i < 10000; ++i) large.add(rng.normal());
+  EXPECT_GT(small.stderr_mean(), large.stderr_mean());
+}
+
+TEST(Quantile, OrderStatisticsWithInterpolation) {
+  const std::vector<double> samples{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(samples, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.25), 1.75);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Quantile, SingleSample) {
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.99), 7.0);
+}
+
+TEST(Quantile, Rejections) {
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(Quantile, MatchesExponentialTheory) {
+  // p-quantile of Exp(1) is -ln(1-p).
+  Rng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 200000; ++i) samples.push_back(rng.exponential());
+  EXPECT_NEAR(quantile(samples, 0.5), std::log(2.0), 0.01);
+  EXPECT_NEAR(quantile(samples, 0.95), -std::log(0.05), 0.05);
+}
+
+TEST(AlmostEqual, BasicBehaviour) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0));
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(almost_equal(1.0, 1.1));
+  EXPECT_TRUE(almost_equal(1e12, 1e12 * (1.0 + 1e-10)));
+  EXPECT_TRUE(almost_equal(0.0, 1e-10));
+}
+
+}  // namespace
+}  // namespace aa::support

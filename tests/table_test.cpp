@@ -1,0 +1,77 @@
+// Tests for the bench-harness table printer (support/table.hpp).
+
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace aa::support {
+namespace {
+
+TEST(Table, TextRenderingAlignsColumns) {
+  Table table({"beta", "Alg2/SO"});
+  table.add_row({"1", "0.9990"});
+  table.add_row({"15", "0.9991"});
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_NE(text.find("0.9991"), std::string::npos);
+  // Header + rule + two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(Table, DoubleRowFormatting) {
+  Table table({"a", "b"});
+  table.add_row_numeric({1.0, 2.34567}, 3);
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("1.000"), std::string::npos);
+  EXPECT_NE(text.find("2.346"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({std::string("only one")}),
+               std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table table({"name", "value"});
+  table.add_row({std::string("with,comma"), std::string("with\"quote")});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table table({"x"});
+  table.add_row({std::string("plain")});
+  EXPECT_EQ(table.to_csv(), "x\nplain\n");
+}
+
+TEST(Table, StreamOperatorMatchesToText) {
+  Table table({"x"});
+  table.add_row({std::string("1")});
+  std::ostringstream os;
+  os << table;
+  EXPECT_EQ(os.str(), table.to_text());
+}
+
+TEST(Table, CountsAreTracked) {
+  Table table({"a", "b", "c"});
+  EXPECT_EQ(table.column_count(), 3u);
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row_numeric({1.0, 2.0, 3.0});
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(2.0, 4), "2.0000");
+}
+
+}  // namespace
+}  // namespace aa::support

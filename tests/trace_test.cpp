@@ -1,0 +1,160 @@
+// Tests for synthetic trace generation (cachesim/trace.hpp).
+
+#include "cachesim/trace.hpp"
+
+#include "cachesim/miss_curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace aa::cachesim {
+namespace {
+
+TEST(Trace, SequentialTouchesEveryLineOnce) {
+  const Trace trace = sequential_trace(100);
+  ASSERT_EQ(trace.size(), 100u);
+  const std::unordered_set<std::uint64_t> distinct(trace.begin(), trace.end());
+  EXPECT_EQ(distinct.size(), 100u);
+}
+
+TEST(Trace, GeneratorRespectsLength) {
+  support::Rng rng(1);
+  const Trace trace =
+      generate_trace(TraceConfig::cache_friendly(64, 5000), rng);
+  EXPECT_EQ(trace.size(), 5000u);
+}
+
+TEST(Trace, CacheFriendlyStaysInsideHotPool) {
+  support::Rng rng(2);
+  const Trace trace =
+      generate_trace(TraceConfig::cache_friendly(64, 10000), rng);
+  for (const std::uint64_t line : trace) ASSERT_LT(line, 64u);
+}
+
+TEST(Trace, PoolsOccupyDisjointRanges) {
+  support::Rng rng(3);
+  TraceConfig config;
+  config.pools = {{10, 0.5}, {20, 0.5}};
+  config.length = 5000;
+  const Trace trace = generate_trace(config, rng);
+  bool saw_first = false;
+  bool saw_second = false;
+  for (const std::uint64_t line : trace) {
+    ASSERT_LT(line, 30u);
+    if (line < 10) saw_first = true;
+    if (line >= 10) saw_second = true;
+  }
+  EXPECT_TRUE(saw_first);
+  EXPECT_TRUE(saw_second);
+}
+
+TEST(Trace, WeightsControlAccessShares) {
+  support::Rng rng(4);
+  TraceConfig config;
+  config.pools = {{8, 0.9}, {1000, 0.1}};
+  config.length = 50000;
+  const Trace trace = generate_trace(config, rng);
+  std::size_t hot = 0;
+  for (const std::uint64_t line : trace) {
+    if (line < 8) ++hot;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / static_cast<double>(trace.size()),
+              0.9, 0.02);
+}
+
+TEST(Trace, MixedPresetHasThreePools) {
+  const TraceConfig config = TraceConfig::mixed(16, 256, 4096, 1000);
+  ASSERT_EQ(config.pools.size(), 3u);
+  EXPECT_EQ(config.pools[0].lines, 16u);
+  EXPECT_EQ(config.pools[2].lines, 4096u);
+}
+
+TEST(Trace, RejectsDegenerateConfigs) {
+  support::Rng rng(5);
+  TraceConfig empty;
+  empty.length = 10;
+  EXPECT_THROW((void)generate_trace(empty, rng), std::invalid_argument);
+
+  TraceConfig zero_pool;
+  zero_pool.pools = {{0, 1.0}};
+  EXPECT_THROW((void)generate_trace(zero_pool, rng), std::invalid_argument);
+
+  TraceConfig zero_weight;
+  zero_weight.pools = {{10, 0.0}};
+  EXPECT_THROW((void)generate_trace(zero_weight, rng), std::invalid_argument);
+
+  TraceConfig negative;
+  negative.pools = {{10, -1.0}};
+  EXPECT_THROW((void)generate_trace(negative, rng), std::invalid_argument);
+}
+
+TEST(ZipfTrace, RespectsLengthAndSupport) {
+  support::Rng rng(20);
+  const Trace trace =
+      generate_zipf_trace({.lines = 64, .exponent = 1.0, .length = 5000}, rng);
+  ASSERT_EQ(trace.size(), 5000u);
+  for (const std::uint64_t line : trace) ASSERT_LT(line, 64u);
+}
+
+TEST(ZipfTrace, PopularityIsRankOrdered) {
+  support::Rng rng(21);
+  const Trace trace = generate_zipf_trace(
+      {.lines = 16, .exponent = 1.2, .length = 100000}, rng);
+  std::vector<std::size_t> counts(16, 0);
+  for (const std::uint64_t line : trace) ++counts[line];
+  // Line 0 clearly dominates, and the top line beats the bottom line.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[4]);
+  EXPECT_GT(counts[0], 8 * counts[15]);
+}
+
+TEST(ZipfTrace, ExponentControlsConcentration) {
+  support::Rng rng(22);
+  const ZipfTraceConfig flat{.lines = 256, .exponent = 0.5, .length = 50000};
+  const ZipfTraceConfig steep{.lines = 256, .exponent = 2.0, .length = 50000};
+  auto head_share = [&](const Trace& trace) {
+    std::size_t head = 0;
+    for (const std::uint64_t line : trace) {
+      if (line < 8) ++head;
+    }
+    return static_cast<double>(head) / static_cast<double>(trace.size());
+  };
+  EXPECT_GT(head_share(generate_zipf_trace(steep, rng)),
+            head_share(generate_zipf_trace(flat, rng)) + 0.2);
+}
+
+TEST(ZipfTrace, ProducesSmoothConcaveUtility) {
+  // The Zipf miss curve decays smoothly, so the PAV repair should be nearly
+  // a no-op and the utility strictly increasing over many way counts.
+  support::Rng rng(23);
+  const Trace trace = generate_zipf_trace(
+      {.lines = 2048, .exponent = 1.0, .length = 40000}, rng);
+  const MissCurve curve =
+      build_miss_curve(compute_stack_distances(trace),
+                       {.total_ways = 16, .lines_per_way = 64});
+  const util::UtilityPtr utility =
+      utility_from_miss_curve(curve, PerfModel{});
+  EXPECT_TRUE(util::is_valid_on_grid(*utility, 1e-9));
+  EXPECT_GT(utility->value(16.0), utility->value(1.0));
+}
+
+TEST(ZipfTrace, Rejections) {
+  support::Rng rng(24);
+  EXPECT_THROW((void)generate_zipf_trace({.lines = 0}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)generate_zipf_trace({.lines = 8, .exponent = 0.0}, rng),
+      std::invalid_argument);
+}
+
+TEST(Trace, DeterministicPerSeed) {
+  support::Rng rng1(6);
+  support::Rng rng2(6);
+  const TraceConfig config = TraceConfig::mixed(8, 64, 512, 2000);
+  EXPECT_EQ(generate_trace(config, rng1), generate_trace(config, rng2));
+}
+
+}  // namespace
+}  // namespace aa::cachesim

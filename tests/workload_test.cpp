@@ -1,0 +1,69 @@
+// Tests for workload generation (sim/workload.hpp).
+
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aa::sim {
+namespace {
+
+TEST(WorkloadConfig, ThreadCountFromBeta) {
+  WorkloadConfig config;
+  config.num_servers = 8;
+  config.beta = 5.0;
+  EXPECT_EQ(config.num_threads(), 40u);
+  config.beta = 1.0;
+  EXPECT_EQ(config.num_threads(), 8u);
+  config.beta = 2.5;
+  EXPECT_EQ(config.num_threads(), 20u);
+}
+
+TEST(WorkloadConfig, RejectsNonpositiveBeta) {
+  WorkloadConfig config;
+  config.beta = 0.0;
+  EXPECT_THROW((void)config.num_threads(), std::invalid_argument);
+}
+
+TEST(GenerateInstance, ShapeMatchesConfig) {
+  WorkloadConfig config;
+  config.num_servers = 4;
+  config.capacity = 64;
+  config.beta = 3.0;
+  config.dist.kind = support::DistributionKind::kNormal;
+  support::Rng rng(1);
+  const core::Instance instance = generate_instance(config, rng);
+  EXPECT_EQ(instance.num_servers, 4u);
+  EXPECT_EQ(instance.capacity, 64);
+  EXPECT_EQ(instance.num_threads(), 12u);
+  EXPECT_NO_THROW(instance.validate());
+}
+
+TEST(GenerateInstance, UtilitiesAreValidConcave) {
+  WorkloadConfig config;
+  config.num_servers = 2;
+  config.capacity = 50;
+  config.beta = 4.0;
+  config.dist.kind = support::DistributionKind::kPowerLaw;
+  support::Rng rng(2);
+  const core::Instance instance = generate_instance(config, rng);
+  for (const auto& thread : instance.threads) {
+    EXPECT_TRUE(util::is_valid_on_grid(*thread, 1e-7));
+  }
+}
+
+TEST(GenerateInstance, DeterministicPerSeed) {
+  WorkloadConfig config;
+  config.num_servers = 2;
+  config.capacity = 40;
+  config.beta = 2.0;
+  support::Rng rng1(3);
+  support::Rng rng2(3);
+  const core::Instance a = generate_instance(config, rng1);
+  const core::Instance b = generate_instance(config, rng2);
+  for (std::size_t i = 0; i < a.num_threads(); ++i) {
+    EXPECT_DOUBLE_EQ(a.threads[i]->value(20.0), b.threads[i]->value(20.0));
+  }
+}
+
+}  // namespace
+}  // namespace aa::sim
