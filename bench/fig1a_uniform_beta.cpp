@@ -8,6 +8,7 @@
 #include "fig_common.hpp"
 
 int main() {
+  const aa::bench::MetricsScope metrics;
   aa::support::DistributionParams dist;
   dist.kind = aa::support::DistributionKind::kUniform;
   const auto table =

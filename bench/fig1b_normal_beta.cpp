@@ -4,6 +4,7 @@
 #include "fig_common.hpp"
 
 int main() {
+  const aa::bench::MetricsScope metrics;
   aa::support::DistributionParams dist;
   dist.kind = aa::support::DistributionKind::kNormal;
   dist.mean = 1.0;

@@ -7,6 +7,7 @@
 #include "fig_common.hpp"
 
 int main() {
+  const aa::bench::MetricsScope metrics;
   aa::support::DistributionParams dist;
   dist.kind = aa::support::DistributionKind::kPowerLaw;
   dist.alpha = 2.0;

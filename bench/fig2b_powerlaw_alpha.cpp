@@ -7,6 +7,7 @@
 #include "fig_common.hpp"
 
 int main() {
+  const aa::bench::MetricsScope metrics;
   const auto table = aa::sim::sweep_powerlaw_alpha(
       {1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0}, /*beta=*/5.0,
       aa::bench::paper_options());

@@ -5,6 +5,7 @@
 #include "fig_common.hpp"
 
 int main() {
+  const aa::bench::MetricsScope metrics;
   aa::support::DistributionParams dist;
   dist.kind = aa::support::DistributionKind::kDiscrete;
   dist.gamma = 0.85;

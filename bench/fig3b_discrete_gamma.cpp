@@ -7,6 +7,7 @@
 #include "fig_common.hpp"
 
 int main() {
+  const aa::bench::MetricsScope metrics;
   const auto table = aa::sim::sweep_discrete_gamma(
       {0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95},
       /*beta=*/5.0, /*theta=*/5.0, aa::bench::paper_options());

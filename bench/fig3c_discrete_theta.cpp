@@ -5,6 +5,7 @@
 #include "fig_common.hpp"
 
 int main() {
+  const aa::bench::MetricsScope metrics;
   const auto table = aa::sim::sweep_discrete_theta(
       {1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 15.0, 20.0}, /*beta=*/5.0,
       /*gamma=*/0.85, aa::bench::paper_options());

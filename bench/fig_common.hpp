@@ -8,10 +8,17 @@
 // Trials default to the paper's 1000; set AA_BENCH_TRIALS to override
 // (tests and smoke runs use small values).
 
+// Each bench also installs an aa::obs session for its lifetime (MetricsScope)
+// and appends the machine-readable metrics blob — counters, phase timings and
+// the sampled approximation certificates — after the CSV block, so perf work
+// can diff solver behaviour run over run. Set AA_BENCH_METRICS=0 to suppress.
+
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "obs/session.hpp"
 #include "sim/figures.hpp"
 
 namespace aa::bench {
@@ -38,5 +45,31 @@ inline void print_figure(const std::string& title,
             << table.to_text() << "\ncsv:\n"
             << table.to_csv() << std::flush;
 }
+
+/// RAII observability scope for bench mains: installs an obs::Session for
+/// the run and prints the metrics blob (a single JSON document after a
+/// "metrics:" line) when the bench finishes. Declare one at the top of
+/// main() so every solve in the sweep is instrumented.
+class MetricsScope {
+ public:
+  MetricsScope() {
+    const char* env = std::getenv("AA_BENCH_METRICS");
+    if (env != nullptr && std::string(env) == "0") return;
+    session_ = std::make_unique<obs::Session>();
+  }
+
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+
+  ~MetricsScope() {
+    if (session_ == nullptr) return;
+    std::cout << "\nmetrics:\n"
+              << session_->to_json().dump(2) << "\n"
+              << std::flush;
+  }
+
+ private:
+  std::unique_ptr<obs::Session> session_;
+};
 
 }  // namespace aa::bench

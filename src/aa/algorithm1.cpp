@@ -4,7 +4,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "aa/certify.hpp"
 #include "alloc/super_optimal.hpp"
+#include "obs/session.hpp"
 
 namespace aa::core {
 
@@ -33,11 +35,15 @@ SolveResult package(const Instance& instance, Assignment assignment,
 
 Assignment assign_algorithm1(const Instance& instance,
                              std::span<const util::Linearized> linearized) {
+  const obs::ScopedPhase obs_phase("alg1/assign");
   const std::size_t n = instance.num_threads();
   const std::size_t m = instance.num_servers;
   if (linearized.size() != n) {
     throw std::invalid_argument("algorithm1: linearization size mismatch");
   }
+  std::int64_t full_picks = 0;
+  std::int64_t unfull_picks = 0;
+  std::int64_t pair_evaluations = 0;
 
   std::vector<Resource> remaining(m, instance.capacity);
   std::vector<bool> assigned(n, false);
@@ -67,6 +73,7 @@ Assignment assign_algorithm1(const Instance& instance,
     std::size_t target = max_server;
     if (best_full != n) {
       chosen = best_full;
+      ++full_picks;
       // Any server with C_j >= c_hat gives the same (full) utility; the
       // max-remaining server is one of them.
     } else {
@@ -75,6 +82,7 @@ Assignment assign_algorithm1(const Instance& instance,
       for (std::size_t i = 0; i < n; ++i) {
         if (assigned[i]) continue;
         for (std::size_t j = 0; j < m; ++j) {
+          ++pair_evaluations;
           const double value =
               linearized[i].value(static_cast<double>(remaining[j]));
           if (value > best_value) {
@@ -84,6 +92,7 @@ Assignment assign_algorithm1(const Instance& instance,
           }
         }
       }
+      ++unfull_picks;
     }
 
     const Resource granted = std::min(linearized[chosen].cap,
@@ -93,18 +102,28 @@ Assignment assign_algorithm1(const Instance& instance,
     remaining[target] -= granted;
     assigned[chosen] = true;
   }
+  obs::count("alg1/full_picks", full_picks);
+  obs::count("alg1/unfull_picks", unfull_picks);
+  obs::count("alg1/pair_evaluations", pair_evaluations);
   return out;
 }
 
 SolveResult solve_algorithm1(const Instance& instance) {
+  const obs::ScopedPhase obs_phase("alg1/solve");
+  obs::count("alg1/solves");
   instance.validate();
   alloc::SuperOptimalResult so = alloc::super_optimal(
       instance.threads, instance.num_servers, instance.capacity);
-  const std::vector<util::Linearized> linearized =
-      util::linearize(instance.threads, so.c_hat);
+  std::vector<util::Linearized> linearized;
+  {
+    const obs::ScopedPhase linearize_phase("linearize");
+    linearized = util::linearize(instance.threads, so.c_hat);
+  }
   Assignment assignment = assign_algorithm1(instance, linearized);
-  return package(instance, std::move(assignment), linearized,
-                 std::move(so.c_hat), so.utility);
+  SolveResult result = package(instance, std::move(assignment), linearized,
+                               std::move(so.c_hat), so.utility);
+  certify_and_record(instance, result, "algorithm1");
+  return result;
 }
 
 }  // namespace aa::core

@@ -1,0 +1,59 @@
+#include "aa/certify.hpp"
+
+#include <numeric>
+#include <string>
+
+#include "obs/session.hpp"
+
+namespace aa::core {
+
+namespace {
+
+obs::CertificateInput build_input(const Instance& instance,
+                                  const SolveResult& result,
+                                  std::string_view solver,
+                                  bool check_concavity) {
+  obs::CertificateInput input;
+  input.solver = std::string(solver);
+  input.alpha = kApproximationRatio;
+  input.f_alg = result.utility;
+  input.f_linearized = result.linearized_utility;
+  input.f_super_optimal = result.super_optimal_utility;
+  input.capacity = static_cast<double>(instance.capacity);
+  input.server_loads = server_loads(instance, result.assignment);
+  input.c_hat_total = static_cast<double>(std::accumulate(
+      result.c_hat.begin(), result.c_hat.end(), Resource{0}));
+  input.pooled_capacity = static_cast<double>(instance.num_servers) *
+                          static_cast<double>(instance.capacity);
+  input.structural_error = check_assignment(instance, result.assignment);
+  if (check_concavity) {
+    input.concavity_checked = true;
+    input.utilities_concave = true;
+    for (const UtilityPtr& f : instance.threads) {
+      if (!util::is_valid_on_grid(*f)) {
+        input.utilities_concave = false;
+        break;
+      }
+    }
+  }
+  return input;
+}
+
+}  // namespace
+
+obs::Certificate certify(const Instance& instance, const SolveResult& result,
+                         std::string_view solver,
+                         const CertifyOptions& options) {
+  return obs::check_certificate(
+      build_input(instance, result, solver, options.check_concavity),
+      options.rel_tol);
+}
+
+void certify_and_record(const Instance& instance, const SolveResult& result,
+                        std::string_view solver) {
+  if (obs::Session::current() == nullptr) return;
+  obs::record_certificate(
+      build_input(instance, result, solver, /*check_concavity=*/false));
+}
+
+}  // namespace aa::core

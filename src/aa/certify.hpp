@@ -1,0 +1,41 @@
+#pragma once
+
+// Bridges the solver types to the generic certificate checker in
+// obs/certificate.hpp: builds a CertificateInput from an (Instance,
+// SolveResult) pair — structural validation, per-server loads, the pooled
+// c_hat budget and (optionally) the O(n C) concavity sweep — and checks the
+// full chain F >= G >= alpha * F_hat >= alpha * F* (see certificate.hpp).
+//
+// The approximation solvers call certify_and_record() on every solve; it
+// returns immediately when no obs::Session is installed, so uninstrumented
+// runs pay nothing.
+
+#include <string_view>
+
+#include "aa/problem.hpp"
+#include "aa/solve_result.hpp"
+#include "obs/certificate.hpp"
+
+namespace aa::core {
+
+struct CertifyOptions {
+  /// Sweep every utility with util::is_valid_on_grid (O(n C)). On by
+  /// default for explicit calls; the per-solve auto-record skips it — the
+  /// generators and Instance::validate enforce the precondition upstream.
+  bool check_concavity = true;
+  double rel_tol = 1e-7;
+};
+
+/// Builds the input and runs obs::check_certificate. Pure; never records.
+[[nodiscard]] obs::Certificate certify(const Instance& instance,
+                                       const SolveResult& result,
+                                       std::string_view solver,
+                                       const CertifyOptions& options = {});
+
+/// When an obs::Session is installed: certify (without the concavity
+/// sweep), store the certificate on the session and bump the
+/// certificate/checks + certificate/failures counters. No-op otherwise.
+void certify_and_record(const Instance& instance, const SolveResult& result,
+                        std::string_view solver);
+
+}  // namespace aa::core

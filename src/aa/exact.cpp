@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "alloc/allocator.hpp"
+#include "obs/session.hpp"
 
 namespace aa::core {
 
@@ -78,12 +79,17 @@ class PartitionSearch {
 }  // namespace
 
 ExactResult solve_exact(const Instance& instance, std::size_t max_threads) {
+  const obs::ScopedPhase obs_phase("exact/solve");
+  obs::count("exact/solves");
   instance.validate();
   if (instance.num_threads() > max_threads) {
     throw std::invalid_argument(
         "solve_exact: instance too large for exhaustive search");
   }
-  return PartitionSearch(instance).run();
+  ExactResult result = PartitionSearch(instance).run();
+  obs::count("exact/partitions_explored",
+             static_cast<std::int64_t>(result.partitions_explored));
+  return result;
 }
 
 }  // namespace aa::core

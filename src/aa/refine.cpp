@@ -5,12 +5,15 @@
 
 #include "aa/algorithm1.hpp"
 #include "aa/algorithm2.hpp"
+#include "aa/certify.hpp"
 #include "alloc/allocator.hpp"
+#include "obs/session.hpp"
 
 namespace aa::core {
 
 Assignment reoptimize_allocations(const Instance& instance,
                                   const Assignment& placement) {
+  const obs::ScopedPhase obs_phase("refine/reoptimize");
   if (placement.server.size() != instance.num_threads() ||
       placement.alloc.size() != instance.num_threads()) {
     throw std::invalid_argument("reoptimize: assignment size mismatch");
@@ -20,8 +23,10 @@ Assignment reoptimize_allocations(const Instance& instance,
   for (std::size_t i = 0; i < placement.size(); ++i) {
     groups.at(placement.server[i]).push_back(i);
   }
+  std::int64_t reoptimized = 0;
   for (const auto& group : groups) {
     if (group.empty()) continue;
+    ++reoptimized;
     std::vector<UtilityPtr> members;
     members.reserve(group.size());
     for (const std::size_t i : group) members.push_back(instance.threads[i]);
@@ -31,12 +36,15 @@ Assignment reoptimize_allocations(const Instance& instance,
       out.alloc[group[k]] = static_cast<double>(result.amounts[k]);
     }
   }
+  obs::count("refine/servers_reoptimized", reoptimized);
   return out;
 }
 
 namespace {
 
-SolveResult refined(const Instance& instance, SolveResult raw) {
+SolveResult refined(const Instance& instance, SolveResult raw,
+                    std::string_view solver) {
+  obs::count("refine/solves");
   Assignment better = reoptimize_allocations(instance, raw.assignment);
   const double better_utility = total_utility(instance, better);
   // Guaranteed non-decreasing, but guard against pathological float drift.
@@ -44,17 +52,20 @@ SolveResult refined(const Instance& instance, SolveResult raw) {
     raw.assignment = std::move(better);
     raw.utility = better_utility;
   }
+  certify_and_record(instance, raw, solver);
   return raw;
 }
 
 }  // namespace
 
 SolveResult solve_algorithm2_refined(const Instance& instance) {
-  return refined(instance, solve_algorithm2(instance));
+  const obs::ScopedPhase obs_phase("alg2/solve_refined");
+  return refined(instance, solve_algorithm2(instance), "algorithm2_refined");
 }
 
 SolveResult solve_algorithm1_refined(const Instance& instance) {
-  return refined(instance, solve_algorithm1(instance));
+  const obs::ScopedPhase obs_phase("alg1/solve_refined");
+  return refined(instance, solve_algorithm1(instance), "algorithm1_refined");
 }
 
 }  // namespace aa::core

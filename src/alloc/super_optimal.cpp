@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/session.hpp"
+
 namespace aa::alloc {
 
 namespace {
@@ -18,6 +20,10 @@ util::Resource pooled(std::size_t num_servers, util::Resource capacity) {
 SuperOptimalResult super_optimal(std::span<const util::UtilityPtr> threads,
                                  std::size_t num_servers,
                                  util::Resource capacity) {
+  const obs::ScopedPhase obs_phase("super_optimal");
+  obs::count("super_optimal/calls");
+  obs::count("super_optimal/threads",
+             static_cast<std::int64_t>(threads.size()));
   AllocationResult result =
       allocate_bisection(threads, pooled(num_servers, capacity), capacity);
   return {std::move(result.amounts), result.total_utility};
@@ -26,6 +32,10 @@ SuperOptimalResult super_optimal(std::span<const util::UtilityPtr> threads,
 SuperOptimalResult super_optimal_greedy(
     std::span<const util::UtilityPtr> threads, std::size_t num_servers,
     util::Resource capacity) {
+  const obs::ScopedPhase obs_phase("super_optimal");
+  obs::count("super_optimal/calls");
+  obs::count("super_optimal/threads",
+             static_cast<std::int64_t>(threads.size()));
   AllocationResult result =
       allocate_greedy(threads, pooled(num_servers, capacity), capacity);
   return {std::move(result.amounts), result.total_utility};

@@ -1,0 +1,123 @@
+#include "obs/certificate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "obs/session.hpp"
+
+namespace aa::obs {
+
+namespace {
+
+std::string describe(const char* what, double lhs, const char* relation,
+                     double rhs) {
+  std::ostringstream out;
+  out.precision(17);
+  out << what << ": " << lhs << " " << relation << " " << rhs;
+  return out.str();
+}
+
+}  // namespace
+
+Certificate check_certificate(CertificateInput input, double rel_tol) {
+  Certificate cert;
+  const double f_tol = rel_tol * (1.0 + std::abs(input.f_super_optimal));
+  const double c_tol = rel_tol * (1.0 + std::abs(input.capacity));
+
+  cert.structural_ok = input.structural_error.empty();
+  if (!cert.structural_ok) {
+    cert.violations.push_back("structural: " + input.structural_error);
+  }
+
+  cert.max_overload = 0.0;
+  for (const double load : input.server_loads) {
+    cert.max_overload = std::max(cert.max_overload, load - input.capacity);
+  }
+  cert.budget_ok = cert.max_overload <= c_tol;
+  if (!cert.budget_ok) {
+    cert.violations.push_back(describe("budget: max server overload",
+                                       cert.max_overload, ">", c_tol));
+  }
+
+  const double floor = input.alpha * input.f_super_optimal - f_tol;
+  cert.alpha_ok = input.f_alg >= floor;
+  if (!cert.alpha_ok) {
+    cert.violations.push_back(
+        describe("alpha: f_alg", input.f_alg, "< alpha * f_super_optimal =",
+                 input.alpha * input.f_super_optimal));
+  }
+  cert.linearized_alpha_ok = input.f_linearized >= floor;
+  if (!cert.linearized_alpha_ok) {
+    cert.violations.push_back(describe(
+        "alpha (Lemma V.15): f_linearized", input.f_linearized,
+        "< alpha * f_super_optimal =", input.alpha * input.f_super_optimal));
+  }
+  cert.linearized_below_ok = input.f_alg >= input.f_linearized - f_tol;
+  if (!cert.linearized_below_ok) {
+    cert.violations.push_back(describe("Lemma V.4: f_alg", input.f_alg,
+                                       "< f_linearized =",
+                                       input.f_linearized));
+  }
+  cert.upper_bound_ok = input.f_alg <= input.f_super_optimal + f_tol;
+  if (!cert.upper_bound_ok) {
+    cert.violations.push_back(describe("Lemma V.2: f_alg", input.f_alg,
+                                       "> f_super_optimal =",
+                                       input.f_super_optimal));
+  }
+
+  const double pool_tol = rel_tol * (1.0 + std::abs(input.pooled_capacity));
+  cert.pooled_ok = input.c_hat_total <= input.pooled_capacity + pool_tol;
+  if (!cert.pooled_ok) {
+    cert.violations.push_back(describe("pooled budget: sum c_hat",
+                                       input.c_hat_total, "> m * C =",
+                                       input.pooled_capacity));
+  }
+
+  cert.concavity_ok = !input.concavity_checked || input.utilities_concave;
+  if (!cert.concavity_ok) {
+    cert.violations.emplace_back(
+        "concavity: some utility is not nonnegative, nondecreasing and "
+        "concave on the integer grid");
+  }
+
+  cert.achieved_ratio = input.f_super_optimal > 0.0
+                            ? input.f_alg / input.f_super_optimal
+                            : 1.0;
+  cert.input = std::move(input);
+  return cert;
+}
+
+Certificate record_certificate(CertificateInput input, double rel_tol) {
+  Certificate cert = check_certificate(std::move(input), rel_tol);
+  if (Session* session = Session::current()) {
+    session->count("certificate/checks", 1);
+    if (!cert.ok()) session->count("certificate/failures", 1);
+    session->add_certificate(cert);
+  }
+  return cert;
+}
+
+support::JsonValue Certificate::to_json() const {
+  support::JsonValue out{support::JsonValue::Object{}};
+  out.set("solver", input.solver);
+  out.set("f_alg", input.f_alg);
+  out.set("f_linearized", input.f_linearized);
+  out.set("f_super_optimal", input.f_super_optimal);
+  out.set("alpha", input.alpha);
+  out.set("achieved_ratio", achieved_ratio);
+  out.set("certificate_ok", ok());
+  out.set("concavity_checked", input.concavity_checked);
+  if (!violations.empty()) {
+    support::JsonValue::Array list;
+    list.reserve(violations.size());
+    for (const std::string& v : violations) {
+      list.emplace_back(v);
+    }
+    out.set("violations", support::JsonValue(std::move(list)));
+  }
+  return out;
+}
+
+}  // namespace aa::obs

@@ -1,0 +1,89 @@
+#pragma once
+
+// Self-checking approximation certificates.
+//
+// Every run of the paper's approximation pipeline produces three numbers —
+// F(ALG) on the original concave utilities, G(ALG) on the linearized
+// utilities, and the super-optimal bound F_hat (Definition V.1, computed
+// with each thread's allocation capped at C, i.e. "SO_capped") — that are
+// related by a chain the solver can verify about itself on every solve:
+//
+//     F(ALG) >= G(ALG) >= alpha * F_hat >= alpha * F* >= alpha * F(ALG)
+//
+// (Lemma V.4, Lemma V.15 / Theorem VI.1, Lemma V.2 respectively, with
+// alpha = 2(sqrt(2)-1).) check_certificate() evaluates the chain plus the
+// per-server budget, the pooled c_hat budget and the concavity
+// precondition, and reports every violated link instead of silently
+// trusting the theorems. The checker works on plain numbers so it has no
+// dependency on the solver library; aa/certify.hpp builds the input from an
+// (Instance, SolveResult) pair and is what the solvers call.
+
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace aa::obs {
+
+/// Everything the checker needs, as plain data.
+struct CertificateInput {
+  std::string solver;            ///< e.g. "algorithm2_refined" (label only).
+  double alpha = 0.0;            ///< Guarantee to check (2(sqrt(2)-1)).
+  double f_alg = 0.0;            ///< F(ALG): objective on the original f_i.
+  double f_linearized = 0.0;     ///< G(ALG): objective on the ramps g_i.
+  double f_super_optimal = 0.0;  ///< F_hat with per-thread cap C (SO_capped).
+  double capacity = 0.0;         ///< Per-server budget C.
+  std::vector<double> server_loads;  ///< Sum of allocations per server.
+  double c_hat_total = 0.0;          ///< sum_i c_hat_i.
+  double pooled_capacity = 0.0;      ///< m * C (super-optimal pool).
+  /// First structural violation from core::check_assignment ("" = valid).
+  std::string structural_error;
+  /// Result of the concavity/monotonicity sweep over every utility. Leave
+  /// `concavity_checked` false when the (O(n C)) sweep was skipped; the
+  /// certificate then reports concavity as unverified rather than failed.
+  bool concavity_checked = false;
+  bool utilities_concave = true;
+};
+
+/// Verdict of one certificate check. `ok()` is the conjunction of every
+/// verdict that was actually evaluated; `violations` holds one
+/// human-readable line per failed link.
+struct Certificate {
+  CertificateInput input;
+
+  bool structural_ok = false;        ///< check_assignment found no violation.
+  bool budget_ok = false;            ///< Every server load <= C (+ tol).
+  bool alpha_ok = false;             ///< F(ALG) >= alpha * F_hat.
+  bool linearized_alpha_ok = false;  ///< G(ALG) >= alpha * F_hat (Lemma V.15).
+  bool linearized_below_ok = false;  ///< F(ALG) >= G(ALG) (Lemma V.4).
+  bool upper_bound_ok = false;       ///< F(ALG) <= F_hat (Lemma V.2).
+  bool pooled_ok = false;            ///< sum c_hat <= m * C.
+  bool concavity_ok = false;         ///< Precondition sweep (when checked).
+
+  /// max(load - C) over servers; <= 0 when the budget holds exactly.
+  double max_overload = 0.0;
+  /// F(ALG) / F_hat: the certified lower bound on the achieved ratio.
+  double achieved_ratio = 0.0;
+
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+
+  /// Flat object: solver, f_alg, f_linearized, f_super_optimal, alpha,
+  /// achieved_ratio, certificate_ok plus the violation list.
+  [[nodiscard]] support::JsonValue to_json() const;
+};
+
+/// Evaluates every certificate link with tolerance
+/// `rel_tol * (1 + f_super_optimal)` on the utility comparisons (matching
+/// the repo's property tests) and `rel_tol * (1 + capacity)` on budgets.
+[[nodiscard]] Certificate check_certificate(CertificateInput input,
+                                            double rel_tol = 1e-7);
+
+/// check_certificate(), then — when a Session is installed — stores the
+/// certificate on the session and bumps the `certificate/checks` and
+/// `certificate/failures` counters. Without a session this is exactly
+/// check_certificate().
+Certificate record_certificate(CertificateInput input, double rel_tol = 1e-7);
+
+}  // namespace aa::obs

@@ -1,0 +1,171 @@
+#include "obs/session.hpp"
+
+#include <atomic>
+#include <ctime>
+#include <utility>
+
+namespace aa::obs {
+
+namespace {
+
+std::atomic<Session*> g_current{nullptr};
+
+/// Per-thread phase nesting depth. Each worker starts at 0; strictly nested
+/// ScopedPhase scopes keep it balanced.
+thread_local int g_depth = 0;
+
+double wall_ms_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) noexcept {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+double thread_cpu_ms() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e3 +
+           static_cast<double>(ts.tv_nsec) * 1e-6;
+  }
+#endif
+  return 1e3 * static_cast<double>(std::clock()) /
+         static_cast<double>(CLOCKS_PER_SEC);
+}
+
+Session::Session() : start_(std::chrono::steady_clock::now()) {
+  previous_ = g_current.exchange(this, std::memory_order_acq_rel);
+}
+
+Session::~Session() {
+  g_current.store(previous_, std::memory_order_release);
+}
+
+Session* Session::current() noexcept {
+  return g_current.load(std::memory_order_acquire);
+}
+
+void Session::count(std::string_view name, std::int64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  metrics_.count(name, delta);
+}
+
+void Session::time(std::string_view name, double wall_ms, double cpu_ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  metrics_.time(name, wall_ms, cpu_ms);
+}
+
+void Session::add_trace(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (trace_.size() >= kMaxTraceEvents) {
+    metrics_.count("obs/trace_dropped", 1);
+    return;
+  }
+  trace_.push_back(std::move(event));
+}
+
+void Session::add_certificate(Certificate certificate) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (certificates_.size() >= kMaxCertificates) {
+    metrics_.count("obs/certificates_dropped", 1);
+    // The *last* certificate is what to_json flattens, so keep it fresh:
+    // overwrite the final slot instead of dropping the newest.
+    certificates_.back() = std::move(certificate);
+    return;
+  }
+  certificates_.push_back(std::move(certificate));
+}
+
+double Session::elapsed_ms() const noexcept {
+  return wall_ms_between(start_, std::chrono::steady_clock::now());
+}
+
+Metrics Session::metrics() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_;
+}
+
+std::vector<TraceEvent> Session::trace() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return trace_;
+}
+
+std::vector<Certificate> Session::certificates() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return certificates_;
+}
+
+support::JsonValue Session::to_json(bool include_timings) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  support::JsonValue out{support::JsonValue::Object{}};
+  if (!certificates_.empty()) {
+    const Certificate& last = certificates_.back();
+    out.set("solver", last.input.solver);
+    out.set("f_alg", last.input.f_alg);
+    out.set("f_linearized", last.input.f_linearized);
+    out.set("f_super_optimal", last.input.f_super_optimal);
+    out.set("alpha", last.input.alpha);
+    out.set("achieved_ratio", last.achieved_ratio);
+    out.set("certificate_ok", last.ok());
+  }
+  out.set("counters", metrics_.counters_json());
+  if (include_timings) {
+    out.set("timers", metrics_.timers_json());
+    support::JsonValue::Array trace;
+    trace.reserve(trace_.size());
+    for (const TraceEvent& event : trace_) {
+      support::JsonValue entry{support::JsonValue::Object{}};
+      entry.set("kind",
+                event.kind == TraceEvent::Kind::kEnter ? "enter" : "exit");
+      entry.set("name", event.name);
+      entry.set("depth", event.depth);
+      entry.set("at_ms", event.at_ms);
+      if (event.kind == TraceEvent::Kind::kExit) {
+        entry.set("wall_ms", event.wall_ms);
+        entry.set("cpu_ms", event.cpu_ms);
+      }
+      trace.push_back(std::move(entry));
+    }
+    out.set("trace", support::JsonValue(std::move(trace)));
+  }
+  if (!certificates_.empty()) {
+    support::JsonValue::Array list;
+    list.reserve(certificates_.size());
+    for (const Certificate& certificate : certificates_) {
+      list.push_back(certificate.to_json());
+    }
+    out.set("certificates", support::JsonValue(std::move(list)));
+  }
+  return out;
+}
+
+ScopedPhase::ScopedPhase([[maybe_unused]] std::string_view name)
+#if AA_OBS_ENABLED
+    : session_(Session::current())
+#endif
+{
+#if AA_OBS_ENABLED
+  if (session_ == nullptr) return;
+  name_ = std::string(name);
+  depth_ = g_depth++;
+  wall_start_ = std::chrono::steady_clock::now();
+  cpu_start_ms_ = thread_cpu_ms();
+  session_->add_trace({TraceEvent::Kind::kEnter, name_, depth_,
+                       session_->elapsed_ms(), 0.0, 0.0});
+#endif
+}
+
+ScopedPhase::~ScopedPhase() {
+#if AA_OBS_ENABLED
+  if (session_ == nullptr) return;
+  --g_depth;
+  const double wall =
+      wall_ms_between(wall_start_, std::chrono::steady_clock::now());
+  const double cpu = thread_cpu_ms() - cpu_start_ms_;
+  session_->time(name_, wall, cpu);
+  session_->add_trace({TraceEvent::Kind::kExit, name_, depth_,
+                       session_->elapsed_ms(), wall, cpu});
+#endif
+}
+
+}  // namespace aa::obs

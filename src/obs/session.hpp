@@ -1,0 +1,137 @@
+#pragma once
+
+// Observability session: the thread-safe collector behind aa::obs.
+//
+// Instrumentation in the solver libraries is written against the free
+// functions below (obs::count) and the RAII ScopedPhase. Both resolve the
+// *installed* session at call time:
+//
+//   - no session installed  -> every call is a cheap no-op (one relaxed
+//     atomic load), so the default build pays nothing for instrumentation;
+//   - a Session object alive -> counters, timer stats, trace events and
+//     approximation certificates accumulate on it, behind a mutex, so
+//     ThreadPool workers may record concurrently.
+//
+// Compiling with AA_OBS_ENABLED=0 (CMake -DAA_OBS=OFF) removes even the
+// atomic load: the inline entry points compile to literal no-ops and
+// ScopedPhase becomes an empty object.
+//
+// Sessions nest: constructing a Session installs it and remembers the
+// previous one; destruction restores it. Install/uninstall must happen on
+// one thread while no instrumented work is in flight (the usual pattern:
+// create the Session in main() around the whole run). A Session must
+// outlive any ScopedPhase that started under it.
+//
+// Unbounded collections are capped (kMaxTraceEvents / kMaxCertificates):
+// beyond the cap, events and certificates are dropped but *counted* under
+// obs/trace_dropped and obs/certificates_dropped, so truncation is never
+// silent. Counters and timers aggregate and never grow with run length.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/certificate.hpp"
+#include "obs/metrics.hpp"
+#include "support/json.hpp"
+
+#ifndef AA_OBS_ENABLED
+#define AA_OBS_ENABLED 1
+#endif
+
+namespace aa::obs {
+
+/// One phase-boundary record. Enter events carry only the timestamp; exit
+/// events additionally carry the phase's wall/CPU durations.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kEnter, kExit };
+  Kind kind = Kind::kEnter;
+  std::string name;
+  int depth = 0;       ///< Nesting depth on the recording thread (0 = top).
+  double at_ms = 0.0;  ///< Wall offset from session start.
+  double wall_ms = 0.0;  ///< Exit only: phase wall duration.
+  double cpu_ms = 0.0;   ///< Exit only: phase thread-CPU duration.
+};
+
+class Session {
+ public:
+  static constexpr std::size_t kMaxTraceEvents = 4096;
+  static constexpr std::size_t kMaxCertificates = 256;
+
+  /// Installs this session as current (stacking on any previous one).
+  Session();
+  /// Restores the previously installed session.
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// The installed session, or nullptr. Lock-free.
+  [[nodiscard]] static Session* current() noexcept;
+
+  void count(std::string_view name, std::int64_t delta = 1);
+  void time(std::string_view name, double wall_ms, double cpu_ms);
+  void add_trace(TraceEvent event);
+  void add_certificate(Certificate certificate);
+
+  /// Milliseconds since the session was constructed.
+  [[nodiscard]] double elapsed_ms() const noexcept;
+
+  /// Snapshots (copies, taken under the lock).
+  [[nodiscard]] Metrics metrics() const;
+  [[nodiscard]] std::vector<TraceEvent> trace() const;
+  [[nodiscard]] std::vector<Certificate> certificates() const;
+
+  /// Full export: counters, (optionally) timers + trace, the certificate
+  /// list, and — when at least one certificate was recorded — the last
+  /// certificate's fields flattened at top level (f_alg, f_super_optimal,
+  /// f_linearized, alpha, achieved_ratio, certificate_ok), which is the
+  /// blob `aa_solve --metrics` and the benches emit.
+  [[nodiscard]] support::JsonValue to_json(bool include_timings = true) const;
+
+ private:
+  mutable std::mutex mutex_;
+  Metrics metrics_;
+  std::vector<TraceEvent> trace_;
+  std::vector<Certificate> certificates_;
+  Session* previous_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Thread-CPU time of the calling thread, in milliseconds (falls back to
+/// process CPU time on platforms without CLOCK_THREAD_CPUTIME_ID).
+[[nodiscard]] double thread_cpu_ms() noexcept;
+
+/// Adds to a named counter on the installed session; no-op without one.
+inline void count([[maybe_unused]] std::string_view name,
+                  [[maybe_unused]] std::int64_t delta = 1) {
+#if AA_OBS_ENABLED
+  if (Session* session = Session::current()) session->count(name, delta);
+#endif
+}
+
+/// RAII phase marker: records an enter/exit trace-event pair and one sample
+/// of the timer named after the phase. Copying is disabled; phases must be
+/// strictly nested per thread (scopes guarantee this).
+class ScopedPhase {
+ public:
+  explicit ScopedPhase([[maybe_unused]] std::string_view name);
+  ~ScopedPhase();
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+#if AA_OBS_ENABLED
+  Session* session_;  ///< Captured at entry; nullptr = disabled.
+  std::string name_;
+  int depth_ = 0;
+  std::chrono::steady_clock::time_point wall_start_;
+  double cpu_start_ms_ = 0.0;
+#endif
+};
+
+}  // namespace aa::obs

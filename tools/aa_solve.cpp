@@ -2,14 +2,21 @@
 //
 //   aa_solve INSTANCE.json [--algorithm alg2|alg2raw|alg1|exact|bnb|
 //                                       search|uu|ur|ru|rr]
-//            [--format json|text] [--seed S] [--out FILE]
+//            [--format json|text] [--seed S] [--out FILE] [--metrics FILE|-]
 //
 // The default algorithm is alg2 (Algorithm 2 + per-server refinement, the
 // paper's evaluated configuration). `search` adds local-search
 // post-processing; `exact` brute-forces small instances. The randomized
 // heuristics use --seed.
+//
+// --metrics enables the aa::obs observability session for the solve and
+// writes the metrics blob (counters, phase timings, trace, approximation
+// certificates; see docs/OBSERVABILITY.md) to FILE, or to stdout with "-".
+// When sending metrics to stdout, route the solution elsewhere with --out
+// so each stream stays a single parseable document.
 
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "aa/algorithm1.hpp"
@@ -20,6 +27,7 @@
 #include "aa/heuristics.hpp"
 #include "aa/local_search.hpp"
 #include "aa/refine.hpp"
+#include "obs/session.hpp"
 #include "support/args.hpp"
 #include "io/instance_io.hpp"
 #include "support/table.hpp"
@@ -77,13 +85,26 @@ Solution run(const std::string& algorithm, const core::Instance& instance,
 
 int main(int argc, char** argv) {
   try {
-    const support::Args args(argc, argv, {"algorithm", "format", "seed", "out"});
+    const support::Args args(argc, argv,
+                             {"algorithm", "format", "seed", "out", "metrics"});
     if (args.positional().size() != 1) {
       std::cerr << "usage: aa_solve INSTANCE.json [--algorithm alg2|alg2raw|"
                    "alg1|exact|bnb|search|uu|ur|ru|rr] [--format json|text] "
-                   "[--seed S] [--out FILE]\n";
+                   "[--seed S] [--out FILE] [--metrics FILE|-]\n";
       return 2;
     }
+    const std::string metrics_path = args.get("metrics", "");
+    std::unique_ptr<obs::Session> session;
+    if (!metrics_path.empty()) session = std::make_unique<obs::Session>();
+    const auto emit_metrics = [&] {
+      if (session == nullptr) return;
+      const std::string blob = session->to_json().dump(2) + "\n";
+      if (metrics_path == "-") {
+        std::cout << blob;
+      } else {
+        io::write_file(metrics_path, blob);
+      }
+    };
     const support::JsonValue document =
         support::json_parse(io::read_file(args.positional()[0]));
     const std::string algorithm = args.get("algorithm", "alg2");
@@ -121,6 +142,7 @@ int main(int argc, char** argv) {
       } else {
         io::write_file(out_path_h, out.str());
       }
+      emit_metrics();
       return 0;
     }
 
@@ -169,6 +191,7 @@ int main(int argc, char** argv) {
     } else {
       io::write_file(out_path, rendered);
     }
+    emit_metrics();
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "aa_solve: " << error.what() << "\n";
