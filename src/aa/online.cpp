@@ -9,8 +9,6 @@
 
 namespace aa::core {
 
-namespace {
-
 std::size_t count_migrations(const Assignment& before,
                              const Assignment& after) {
   std::size_t moves = 0;
@@ -19,6 +17,8 @@ std::size_t count_migrations(const Assignment& before,
   }
   return moves;
 }
+
+namespace {
 
 Instance scaled_instance(const Instance& base,
                          const std::vector<double>& factors) {
@@ -75,7 +75,7 @@ OnlineResult run_online(const Instance& base, OnlinePolicy policy,
       case OnlinePolicy::kSticky: {
         const Assignment retuned = reoptimize_allocations(instance, current);
         const double retained = total_utility(instance, retuned);
-        if (fresh.utility > retained * (1.0 + config.hysteresis)) {
+        if (sticky_should_migrate(fresh.utility, retained, config.hysteresis)) {
           result.migrations += count_migrations(current, fresh.assignment);
           current = fresh.assignment;
           result.total_utility += fresh.utility;

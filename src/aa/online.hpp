@@ -48,6 +48,20 @@ struct OnlineResult {
   }
 };
 
+/// Threads whose server differs between two same-shape assignments (the
+/// migration metric above). Also used by the allocation service (src/svc)
+/// to account churn across incremental re-solves.
+[[nodiscard]] std::size_t count_migrations(const Assignment& before,
+                                           const Assignment& after);
+
+/// The kSticky acceptance rule: migrate to the fresh solution only when it
+/// beats the retained one by more than the relative hysteresis. Shared with
+/// the warm-start path of the allocation service.
+[[nodiscard]] constexpr bool sticky_should_migrate(
+    double fresh_utility, double retained_utility, double hysteresis) noexcept {
+  return fresh_utility > retained_utility * (1.0 + hysteresis);
+}
+
 /// Simulates `config.epochs` epochs of drift on the given base instance and
 /// returns the aggregate metrics for the chosen policy. The drift sequence
 /// is a deterministic function of `rng`, so policies can be compared on

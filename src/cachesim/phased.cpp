@@ -29,15 +29,6 @@ double measure_epoch(const std::vector<PhasedThread>& threads,
   return measure_throughput(profiles, assignment);
 }
 
-std::size_t count_migrations(const core::Assignment& before,
-                             const core::Assignment& after) {
-  std::size_t moves = 0;
-  for (std::size_t i = 0; i < before.size(); ++i) {
-    if (before.server[i] != after.server[i]) ++moves;
-  }
-  return moves;
-}
-
 }  // namespace
 
 PhasedResult simulate_phased(const Machine& machine,
@@ -71,7 +62,7 @@ PhasedResult simulate_phased(const Machine& machine,
       case core::OnlinePolicy::kStatic:
         break;  // Never adapt.
       case core::OnlinePolicy::kResolve:
-        result.migrations += count_migrations(current, fresh.assignment);
+        result.migrations += core::count_migrations(current, fresh.assignment);
         current = fresh.assignment;
         break;
       case core::OnlinePolicy::kSticky: {
@@ -81,7 +72,7 @@ PhasedResult simulate_phased(const Machine& machine,
             core::reoptimize_allocations(instance, current);
         const double retained = core::total_utility(instance, retuned);
         if (fresh.utility > retained * (1.0 + hysteresis)) {
-          result.migrations += count_migrations(current, fresh.assignment);
+          result.migrations += core::count_migrations(current, fresh.assignment);
           current = fresh.assignment;
         } else {
           current = retuned;

@@ -6,11 +6,9 @@
 
 namespace aa::io {
 
-namespace {
-
 using support::JsonValue;
 
-JsonValue thread_to_json(const util::UtilityFunction& f) {
+JsonValue utility_to_json(const util::UtilityFunction& f) {
   JsonValue node;
   if (const auto* power = dynamic_cast<const util::PowerUtility*>(&f)) {
     node.set("type", "power");
@@ -42,8 +40,8 @@ JsonValue thread_to_json(const util::UtilityFunction& f) {
   return node;
 }
 
-util::UtilityPtr thread_from_json(const JsonValue& node,
-                                  util::Resource capacity) {
+util::UtilityPtr utility_from_json(const JsonValue& node,
+                                   util::Resource capacity) {
   const std::string& type = node.at("type").as_string();
   if (type == "power") {
     return std::make_shared<util::PowerUtility>(
@@ -79,8 +77,6 @@ util::UtilityPtr thread_from_json(const JsonValue& node,
   throw std::runtime_error("instance: unknown utility type '" + type + "'");
 }
 
-}  // namespace
-
 JsonValue instance_to_json(const core::Instance& instance) {
   JsonValue document;
   document.set("num_servers", instance.num_servers);
@@ -88,7 +84,7 @@ JsonValue instance_to_json(const core::Instance& instance) {
   JsonValue::Array threads;
   threads.reserve(instance.num_threads());
   for (const auto& thread : instance.threads) {
-    threads.push_back(thread_to_json(*thread));
+    threads.push_back(utility_to_json(*thread));
   }
   document.set("threads", JsonValue(std::move(threads)));
   return document;
@@ -103,7 +99,7 @@ core::Instance instance_from_json(const JsonValue& document) {
   instance.num_servers = static_cast<std::size_t>(servers);
   instance.capacity = document.at("capacity").as_int();
   for (const JsonValue& node : document.at("threads").as_array()) {
-    instance.threads.push_back(thread_from_json(node, instance.capacity));
+    instance.threads.push_back(utility_from_json(node, instance.capacity));
   }
   instance.validate();
   return instance;
@@ -117,7 +113,7 @@ JsonValue hetero_instance_to_json(const core::HeteroInstance& instance) {
   JsonValue::Array threads;
   threads.reserve(instance.num_threads());
   for (const auto& thread : instance.threads) {
-    threads.push_back(thread_to_json(*thread));
+    threads.push_back(utility_to_json(*thread));
   }
   document.set("threads", JsonValue(std::move(threads)));
   return document;
@@ -130,7 +126,7 @@ core::HeteroInstance hetero_instance_from_json(const JsonValue& document) {
   }
   const util::Resource max_cap = instance.max_capacity();
   for (const JsonValue& node : document.at("threads").as_array()) {
-    instance.threads.push_back(thread_from_json(node, max_cap));
+    instance.threads.push_back(utility_from_json(node, max_cap));
   }
   instance.validate();
   return instance;

@@ -32,6 +32,19 @@
 
 namespace aa::io {
 
+/// Serializes one utility function (analytic families keep their
+/// parameters; everything else is tabulated on the integer grid). This is
+/// the "threads" element format above; the allocation service reuses it for
+/// single-thread add/update requests.
+[[nodiscard]] support::JsonValue utility_to_json(
+    const util::UtilityFunction& utility);
+
+/// Parses one utility node against the given server capacity (analytic
+/// families take their domain from it; tabulated/piecewise carry their
+/// own). Throws std::runtime_error on unknown types or bad parameters.
+[[nodiscard]] util::UtilityPtr utility_from_json(
+    const support::JsonValue& node, util::Resource capacity);
+
 /// Serializes an instance (analytic utilities keep their parameters;
 /// everything else is tabulated on the integer grid).
 [[nodiscard]] support::JsonValue instance_to_json(

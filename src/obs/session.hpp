@@ -113,6 +113,18 @@ inline void count([[maybe_unused]] std::string_view name,
 #endif
 }
 
+/// Records one sample of a named timer without a surrounding ScopedPhase —
+/// for durations measured elsewhere (e.g. the allocation service's queue
+/// waits and batch sizes) or gauges sampled over time. No-op without a
+/// session.
+inline void time_sample([[maybe_unused]] std::string_view name,
+                        [[maybe_unused]] double wall_ms,
+                        [[maybe_unused]] double cpu_ms = 0.0) {
+#if AA_OBS_ENABLED
+  if (Session* session = Session::current()) session->time(name, wall_ms, cpu_ms);
+#endif
+}
+
 /// RAII phase marker: records an enter/exit trace-event pair and one sample
 /// of the timer named after the phase. Copying is disabled; phases must be
 /// strictly nested per thread (scopes guarantee this).

@@ -5,19 +5,42 @@
 
 namespace aa::support {
 
+namespace {
+
+/// Type-7 estimate on an already-sorted sample vector.
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile: q must be in [0, 1]");
+  }
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  if (lower + 1 >= sorted.size()) return sorted.back();
+  const double fraction = position - static_cast<double>(lower);
+  return sorted[lower] + fraction * (sorted[lower + 1] - sorted[lower]);
+}
+
+}  // namespace
+
 double quantile(std::vector<double> samples, double q) {
   if (samples.empty()) {
     throw std::invalid_argument("quantile: no samples");
   }
-  if (q < 0.0 || q > 1.0) {
-    throw std::invalid_argument("quantile: q must be in [0, 1]");
+  std::sort(samples.begin(), samples.end());
+  return sorted_quantile(samples, q);
+}
+
+std::vector<double> quantiles(std::vector<double> samples,
+                              std::span<const double> qs) {
+  if (samples.empty()) {
+    throw std::invalid_argument("quantile: no samples");
   }
   std::sort(samples.begin(), samples.end());
-  const double position = q * static_cast<double>(samples.size() - 1);
-  const auto lower = static_cast<std::size_t>(position);
-  if (lower + 1 >= samples.size()) return samples.back();
-  const double fraction = position - static_cast<double>(lower);
-  return samples[lower] + fraction * (samples[lower + 1] - samples[lower]);
+  std::vector<double> estimates;
+  estimates.reserve(qs.size());
+  for (const double q : qs) {
+    estimates.push_back(sorted_quantile(samples, q));
+  }
+  return estimates;
 }
 
 }  // namespace aa::support

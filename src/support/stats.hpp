@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstddef>
 #include <limits>
+#include <span>
 #include <vector>
 
 namespace aa::support {
@@ -74,6 +75,13 @@ class RunningStats {
 /// std::invalid_argument on empty input or out-of-range q. Copies and
 /// sorts — intended for end-of-run reporting, not hot loops.
 [[nodiscard]] double quantile(std::vector<double> samples, double q);
+
+/// Several quantiles of one sample set with a single sort (quantile() copies
+/// and sorts per call). Returns one estimate per entry of `qs`, in order;
+/// same estimator and error conditions as quantile(). This is what latency
+/// summaries (p50/p90/p99 in one pass) should use.
+[[nodiscard]] std::vector<double> quantiles(std::vector<double> samples,
+                                            std::span<const double> qs);
 
 /// Approximate floating-point comparison with absolute + relative slack.
 [[nodiscard]] constexpr bool almost_equal(double a, double b,

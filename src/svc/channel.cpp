@@ -1,0 +1,132 @@
+#include "svc/channel.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace aa::svc {
+
+namespace {
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(address.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void FdHandle::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void FdHandle::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::optional<std::string> LineChannel::read_line() {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      if (newline > max_line_bytes_) {
+        too_large_ = true;
+        return std::nullopt;
+      }
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    if (buffer_.size() > max_line_bytes_) {
+      too_large_ = true;
+      return std::nullopt;
+    }
+    if (eof_) {
+      // Trailing bytes without a newline: surface them once, then EOF.
+      if (buffer_.empty()) return std::nullopt;
+      std::string line = std::move(buffer_);
+      buffer_.clear();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    if (got == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+bool LineChannel::write_line(const std::string& line) {
+  return send_line(fd_, line);
+}
+
+bool send_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t wrote = ::send(fd, framed.data() + sent,
+                                 framed.size() - sent, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+FdHandle listen_unix(const std::string& path, int backlog) {
+  const sockaddr_un address = make_address(path);
+  FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+             sizeof address) != 0) {
+    throw_errno("bind " + path);
+  }
+  if (::listen(fd.get(), backlog) != 0) throw_errno("listen " + path);
+  return fd;
+}
+
+FdHandle connect_unix(const std::string& path, int retry_ms) {
+  const sockaddr_un address = make_address(path);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(retry_ms);
+  for (;;) {
+    FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) throw_errno("socket");
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+                  sizeof address) == 0) {
+      return fd;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw_errno("connect " + path);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace aa::svc

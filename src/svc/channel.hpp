@@ -1,0 +1,93 @@
+#pragma once
+
+// POSIX plumbing for the line-delimited protocol: an owning fd wrapper and
+// a buffered line channel used on both sides of the Unix domain socket
+// (the server's per-connection loop and aa_loadgen's client). Writes use
+// MSG_NOSIGNAL so a vanished peer surfaces as an error return, not
+// SIGPIPE.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace aa::svc {
+
+/// Default per-line size limit for both sides of the protocol.
+inline constexpr std::size_t kDefaultMaxLineBytes = 1u << 20;
+
+/// Owning file descriptor (move-only RAII).
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) noexcept : fd_(fd) {}
+  ~FdHandle() { reset(); }
+
+  FdHandle(FdHandle&& other) noexcept : fd_(other.release()) {}
+  FdHandle& operator=(FdHandle&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept;
+  /// ::shutdown(SHUT_RDWR): unblocks a reader on another thread without
+  /// racing the descriptor's reuse the way close() would.
+  void shutdown_both() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Buffered reader/writer of '\n'-terminated lines over a socket fd.
+class LineChannel {
+ public:
+  explicit LineChannel(int fd, std::size_t max_line_bytes)
+      : fd_(fd), max_line_bytes_(max_line_bytes) {}
+
+  /// Next line without its terminator. std::nullopt on EOF or read error.
+  /// Sets too_large() and returns nullopt when a line exceeds the limit
+  /// (the stream cannot be resynchronized after that).
+  [[nodiscard]] std::optional<std::string> read_line();
+
+  /// Writes `line` + '\n', looping over partial writes. False on error.
+  [[nodiscard]] bool write_line(const std::string& line);
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  [[nodiscard]] bool too_large() const noexcept { return too_large_; }
+
+ private:
+  int fd_;
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  bool eof_ = false;
+  bool too_large_ = false;
+};
+
+/// Writes `line` + '\n' to `fd` (MSG_NOSIGNAL, partial writes retried).
+/// False on error. Stateless — safe to call without a LineChannel when the
+/// writer and reader live on different threads.
+[[nodiscard]] bool send_line(int fd, const std::string& line);
+
+/// Creates, binds, and listens on a Unix domain stream socket, replacing
+/// any stale socket file at `path`. Throws std::runtime_error on failure.
+[[nodiscard]] FdHandle listen_unix(const std::string& path, int backlog = 64);
+
+/// Connects to the Unix domain socket at `path`; retries for up to
+/// `retry_ms` milliseconds while the server comes up (0 = single attempt).
+/// Throws std::runtime_error on failure.
+[[nodiscard]] FdHandle connect_unix(const std::string& path,
+                                    int retry_ms = 0);
+
+}  // namespace aa::svc

@@ -1,0 +1,88 @@
+#pragma once
+
+// Mutable AA instance behind the allocation service.
+//
+// The batch solvers take an immutable core::Instance; a long-running
+// service instead owns a set of threads with stable ids that grows,
+// shrinks, and drifts between solves (paper Section VIII). InstanceState
+// is that set: delta operations (add / remove / update / scale) mutate it
+// and bump a version counter, and to_instance() snapshots it into the
+// solver's Instance form together with the id at each position, so solve
+// results can be reported per thread id and placements carried across
+// versions by id rather than by position.
+//
+// Not thread-safe by itself — the service serializes all access (one
+// request batch at a time, see service.hpp).
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "aa/problem.hpp"
+#include "utility/utility_function.hpp"
+
+namespace aa::svc {
+
+using ThreadId = std::uint64_t;
+
+class InstanceState {
+ public:
+  /// Throws std::invalid_argument on zero servers or capacity < 1.
+  InstanceState(std::size_t num_servers, util::Resource capacity);
+
+  [[nodiscard]] std::size_t num_servers() const noexcept {
+    return num_servers_;
+  }
+  [[nodiscard]] util::Resource capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return threads_.size();
+  }
+
+  /// Bumped by every successful delta; solvers compare versions to count
+  /// the deltas applied since their last snapshot.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  /// Adds a thread (utility domain must cover the capacity; throws
+  /// std::invalid_argument otherwise) and returns its fresh id. Ids are
+  /// never reused.
+  ThreadId add_thread(util::UtilityPtr utility);
+
+  /// Removes a thread; false when the id is unknown.
+  bool remove_thread(ThreadId id);
+
+  /// Replaces a thread's utility; false when the id is unknown. Throws
+  /// std::invalid_argument when the new domain is too small.
+  bool update_utility(ThreadId id, util::UtilityPtr utility);
+
+  /// Rescales a thread's utility by `factor` >= 0 (drift in the Section
+  /// VIII sense). Wraps in util::ScaledUtility, collapsing nested wrappers
+  /// so long drift streams stay O(1) deep. False when the id is unknown.
+  bool scale_utility(ThreadId id, double factor);
+
+  /// The utility behind an id, or nullptr.
+  [[nodiscard]] const util::UtilityPtr* find(ThreadId id) const;
+
+  /// Threads in insertion order as (id, utility) pairs.
+  [[nodiscard]] const std::vector<std::pair<ThreadId, util::UtilityPtr>>&
+  threads() const noexcept {
+    return threads_;
+  }
+
+  /// Snapshots the current set into solver form. When `ids` is non-null it
+  /// receives the thread id at each instance position.
+  [[nodiscard]] core::Instance to_instance(
+      std::vector<ThreadId>* ids = nullptr) const;
+
+ private:
+  [[nodiscard]] std::optional<std::size_t> index_of(ThreadId id) const;
+  void require_domain(const util::UtilityPtr& utility) const;
+
+  std::size_t num_servers_;
+  util::Resource capacity_;
+  std::vector<std::pair<ThreadId, util::UtilityPtr>> threads_;
+  ThreadId next_id_ = 1;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace aa::svc

@@ -1,0 +1,172 @@
+#include "svc/protocol.hpp"
+
+#include "io/instance_io.hpp"
+
+namespace aa::svc {
+
+namespace {
+
+using support::JsonValue;
+
+Op op_from_name(const std::string& name) {
+  if (name == "add_thread") return Op::kAddThread;
+  if (name == "remove_thread") return Op::kRemoveThread;
+  if (name == "update_utility") return Op::kUpdateUtility;
+  if (name == "solve") return Op::kSolve;
+  if (name == "stats") return Op::kStats;
+  if (name == "shutdown") return Op::kShutdown;
+  throw ProtocolError(error_code::kUnknownOp, "unknown op '" + name + "'");
+}
+
+[[noreturn]] void bad(const std::string& message) {
+  throw ProtocolError(error_code::kBadRequest, message);
+}
+
+std::uint64_t parse_id(const JsonValue& node) {
+  if (!node.is_number()) bad("'id' must be an integer");
+  std::int64_t id = 0;
+  try {
+    id = node.as_int();
+  } catch (const std::exception&) {
+    bad("'id' must be an integer");
+  }
+  if (id < 0) bad("'id' must be nonnegative");
+  return static_cast<std::uint64_t>(id);
+}
+
+util::UtilityPtr parse_utility(const JsonValue& node,
+                               util::Resource capacity) {
+  if (!node.is_object()) bad("'thread' must be an object");
+  util::UtilityPtr utility;
+  try {
+    utility = io::utility_from_json(node, capacity);
+  } catch (const std::exception& error) {
+    bad(std::string("invalid thread spec: ") + error.what());
+  }
+  if (utility->capacity() < capacity) {
+    bad("thread domain " + std::to_string(utility->capacity()) +
+        " is smaller than the server capacity " + std::to_string(capacity));
+  }
+  return utility;
+}
+
+}  // namespace
+
+std::string_view op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kAddThread: return "add_thread";
+    case Op::kRemoveThread: return "remove_thread";
+    case Op::kUpdateUtility: return "update_utility";
+    case Op::kSolve: return "solve";
+    case Op::kStats: return "stats";
+    case Op::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+Request parse_request(std::string_view line, util::Resource capacity) {
+  JsonValue document;
+  try {
+    document = support::json_parse(line);
+  } catch (const std::exception& error) {
+    throw ProtocolError(error_code::kParseError, error.what());
+  }
+  if (!document.is_object()) bad("request must be a JSON object");
+
+  Request request;
+  const JsonValue* op_node = nullptr;
+  const JsonValue* thread_node = nullptr;
+  for (const auto& [key, value] : document.as_object()) {
+    if (key == "op") {
+      op_node = &value;
+    } else if (key == "id") {
+      request.id = parse_id(value);
+    } else if (key == "thread") {
+      thread_node = &value;
+    } else if (key == "factor") {
+      if (!value.is_number()) bad("'factor' must be a number");
+      if (value.as_number() < 0.0) bad("'factor' must be nonnegative");
+      request.factor = value.as_number();
+    } else if (key == "deadline_ms") {
+      if (!value.is_number()) bad("'deadline_ms' must be a number");
+      if (value.as_number() <= 0.0) bad("'deadline_ms' must be positive");
+      request.deadline_ms = value.as_number();
+    } else if (key == "mode") {
+      if (!value.is_string()) bad("'mode' must be a string");
+      const std::string& mode = value.as_string();
+      if (mode == "full") {
+        request.full_solve = true;
+      } else if (mode != "auto") {
+        bad("'mode' must be 'auto' or 'full'");
+      }
+    } else if (key == "tag") {
+      if (!value.is_string()) bad("'tag' must be a string");
+      request.tag = value.as_string();
+    } else {
+      bad("unknown field '" + key + "'");
+    }
+  }
+
+  if (op_node == nullptr) bad("missing 'op'");
+  if (!op_node->is_string()) bad("'op' must be a string");
+  request.op = op_from_name(op_node->as_string());
+
+  switch (request.op) {
+    case Op::kAddThread:
+      if (thread_node == nullptr) bad("add_thread requires 'thread'");
+      if (request.id.has_value()) bad("add_thread ids are server-assigned");
+      if (request.factor.has_value()) bad("add_thread takes no 'factor'");
+      request.utility = parse_utility(*thread_node, capacity);
+      break;
+    case Op::kRemoveThread:
+      if (!request.id.has_value()) bad("remove_thread requires 'id'");
+      if (thread_node != nullptr || request.factor.has_value()) {
+        bad("remove_thread takes only 'id'");
+      }
+      break;
+    case Op::kUpdateUtility:
+      if (!request.id.has_value()) bad("update_utility requires 'id'");
+      if ((thread_node != nullptr) == request.factor.has_value()) {
+        bad("update_utility requires exactly one of 'thread' or 'factor'");
+      }
+      if (thread_node != nullptr) {
+        request.utility = parse_utility(*thread_node, capacity);
+      }
+      break;
+    case Op::kSolve:
+      if (thread_node != nullptr || request.id.has_value() ||
+          request.factor.has_value()) {
+        bad("solve takes only 'mode'");
+      }
+      break;
+    case Op::kStats:
+    case Op::kShutdown:
+      if (thread_node != nullptr || request.id.has_value() ||
+          request.factor.has_value() || request.full_solve) {
+        bad(std::string(op_name(request.op)) + " takes no arguments");
+      }
+      break;
+  }
+  return request;
+}
+
+JsonValue make_error_reply(std::string_view code, std::string_view message,
+                           std::string_view op, std::string_view tag) {
+  JsonValue reply;
+  reply.set("ok", false);
+  if (!op.empty()) reply.set("op", std::string(op));
+  reply.set("error", std::string(message));
+  reply.set("code", std::string(code));
+  if (!tag.empty()) reply.set("tag", std::string(tag));
+  return reply;
+}
+
+JsonValue make_ok_reply(Op op, std::string_view tag) {
+  JsonValue reply;
+  reply.set("ok", true);
+  reply.set("op", std::string(op_name(op)));
+  if (!tag.empty()) reply.set("tag", std::string(tag));
+  return reply;
+}
+
+}  // namespace aa::svc

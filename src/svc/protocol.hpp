@@ -1,0 +1,102 @@
+#pragma once
+
+// Wire protocol of the allocation service (docs/SERVICE.md).
+//
+// Framing is line-delimited JSON: one request object per '\n'-terminated
+// line in, one reply object per line out, over a Unix domain socket or
+// stdio. Requests carry an "op" plus op-specific fields:
+//
+//   {"op": "add_thread", "thread": {"type": "power", ...}, "tag": "a1"}
+//   {"op": "remove_thread", "id": 7}
+//   {"op": "update_utility", "id": 7, "factor": 1.25}
+//   {"op": "update_utility", "id": 7, "thread": {...}}
+//   {"op": "solve", "mode": "auto"}          // mode: auto | full
+//   {"op": "stats"}
+//   {"op": "shutdown"}
+//
+// Optional on every request: "tag" (echoed verbatim on the reply, for
+// client-side correlation) and "deadline_ms" (relative per-request
+// deadline; expired requests get a structured `timeout` error instead of
+// being executed). Replies always carry "ok" plus either op-specific
+// payload or {"error", "code"}; parse_request() reports malformed input by
+// throwing ProtocolError with one of the stable `code` strings below, so
+// the transport can answer with a structured error rather than crash or
+// disconnect.
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "support/json.hpp"
+#include "utility/utility_function.hpp"
+
+namespace aa::svc {
+
+/// Stable machine-readable error codes (doc'd in docs/SERVICE.md).
+namespace error_code {
+inline constexpr std::string_view kParseError = "parse_error";
+inline constexpr std::string_view kBadRequest = "bad_request";
+inline constexpr std::string_view kUnknownOp = "unknown_op";
+inline constexpr std::string_view kNotFound = "not_found";
+inline constexpr std::string_view kTimeout = "timeout";
+inline constexpr std::string_view kTooLarge = "too_large";
+inline constexpr std::string_view kOverflow = "overflow";
+inline constexpr std::string_view kShuttingDown = "shutting_down";
+}  // namespace error_code
+
+/// Request rejection with a stable error code; the transport turns these
+/// into {"ok": false, "error": ..., "code": ...} replies.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(std::string_view code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  [[nodiscard]] const std::string& code() const noexcept { return code_; }
+
+ private:
+  std::string code_;
+};
+
+enum class Op {
+  kAddThread,
+  kRemoveThread,
+  kUpdateUtility,
+  kSolve,
+  kStats,
+  kShutdown,
+};
+
+/// `op` as it appears on the wire.
+[[nodiscard]] std::string_view op_name(Op op) noexcept;
+
+/// One parsed request. `utility` is resolved against the service capacity
+/// at parse time so malformed thread specs fail before they are queued.
+struct Request {
+  Op op = Op::kStats;
+  std::optional<std::uint64_t> id;      ///< remove/update target.
+  util::UtilityPtr utility;             ///< add_thread / update_utility.
+  std::optional<double> factor;         ///< update_utility scaling form.
+  std::optional<double> deadline_ms;    ///< Overrides the config default.
+  bool full_solve = false;              ///< solve mode=full.
+  std::string tag;                      ///< Echoed on the reply.
+};
+
+/// Parses one request line. Utility specs are validated against `capacity`
+/// (the io:: instance thread format). Throws ProtocolError on any problem:
+/// kParseError for malformed JSON, kUnknownOp for an unrecognized "op",
+/// kBadRequest for missing/ill-typed fields.
+[[nodiscard]] Request parse_request(std::string_view line,
+                                    util::Resource capacity);
+
+/// {"ok": false, "error": message, "code": code} (+ op/tag when known).
+/// `op` may be empty when the request never parsed far enough to know it.
+[[nodiscard]] support::JsonValue make_error_reply(std::string_view code,
+                                                  std::string_view message,
+                                                  std::string_view op = {},
+                                                  std::string_view tag = {});
+
+/// {"ok": true, "op": op} (+ tag); payload fields are set by the caller.
+[[nodiscard]] support::JsonValue make_ok_reply(Op op, std::string_view tag);
+
+}  // namespace aa::svc

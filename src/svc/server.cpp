@@ -1,0 +1,154 @@
+#include "svc/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "svc/protocol.hpp"
+
+namespace aa::svc {
+
+namespace {
+
+std::string too_large_message(std::size_t max_line_bytes) {
+  return "request line exceeds " + std::to_string(max_line_bytes) + " bytes";
+}
+
+}  // namespace
+
+/// Shared between the reader thread and reply callbacks: the callbacks may
+/// outlive the connection (a worker can still hold one while the batch
+/// drains), so the fd lives here and is only closed once the last
+/// shared_ptr drops.
+struct SocketServer::Connection {
+  FdHandle fd;
+  std::mutex write_mutex;
+  bool open = true;  ///< Guarded by write_mutex.
+
+  bool send(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (!open) return false;
+    return send_line(fd.get(), line);
+  }
+
+  void close() noexcept {
+    // Shutdown before taking the mutex: it unblocks a send() stuck on a
+    // full socket (which holds the mutex) instead of deadlocking behind it.
+    fd.shutdown_both();
+    std::lock_guard<std::mutex> lock(write_mutex);
+    open = false;
+  }
+};
+
+SocketServer::SocketServer(Service& service, std::string socket_path,
+                           std::size_t max_line_bytes)
+    : service_(service),
+      socket_path_(std::move(socket_path)),
+      max_line_bytes_(max_line_bytes),
+      listener_(listen_unix(socket_path_)) {}
+
+SocketServer::~SocketServer() {
+  shutdown_connections();
+  listener_.reset();
+  ::unlink(socket_path_.c_str());
+}
+
+void SocketServer::run() {
+  pollfd poll_set{};
+  poll_set.fd = listener_.get();
+  poll_set.events = POLLIN;
+  while (!service_.shutdown_requested()) {
+    const int ready = ::poll(&poll_set, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    FdHandle client(::accept(listener_.get(), nullptr, nullptr));
+    if (!client.valid()) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    auto connection = std::make_shared<Connection>();
+    connection->fd = std::move(client);
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    threads_.emplace_back(&SocketServer::connection_loop, this, connection);
+    connections_.push_back(std::move(connection));
+  }
+  shutdown_connections();
+}
+
+void SocketServer::connection_loop(std::shared_ptr<Connection> connection) {
+  LineChannel channel(connection->fd.get(), max_line_bytes_);
+  for (;;) {
+    const std::optional<std::string> line = channel.read_line();
+    if (!line.has_value()) {
+      if (channel.too_large()) {
+        (void)connection->send(
+            make_error_reply(error_code::kTooLarge,
+                             too_large_message(max_line_bytes_))
+                .dump());
+      }
+      break;  // EOF (possibly mid-line) or error: clean disconnect.
+    }
+    service_.submit_line(*line, [connection](const std::string& reply) {
+      (void)connection->send(reply);
+    });
+  }
+  connection->close();
+}
+
+void SocketServer::shutdown_connections() {
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& connection : connections_) connection->close();
+    threads.swap(threads_);
+    connections_.clear();
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+namespace {
+
+/// Reply sink for stdio mode; shared so replies still in flight during
+/// Service::stop() keep a live mutex.
+struct StdioWriter {
+  explicit StdioWriter(std::ostream& stream) : out(stream) {}
+
+  void write(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex);
+    out << line << '\n' << std::flush;
+  }
+
+  std::mutex mutex;
+  std::ostream& out;
+};
+
+}  // namespace
+
+void serve_stdio(Service& service, std::istream& in, std::ostream& out,
+                 std::size_t max_line_bytes) {
+  auto writer = std::make_shared<StdioWriter>(out);
+  std::string line;
+  while (!service.shutdown_requested() && std::getline(in, line)) {
+    if (line.size() > max_line_bytes) {
+      writer->write(make_error_reply(error_code::kTooLarge,
+                                     too_large_message(max_line_bytes))
+                        .dump());
+      break;
+    }
+    service.submit_line(line, [writer](const std::string& reply) {
+      writer->write(reply);
+    });
+  }
+}
+
+}  // namespace aa::svc

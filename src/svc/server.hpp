@@ -1,0 +1,63 @@
+#pragma once
+
+// Transports for the allocation service: a Unix-domain-socket server (the
+// normal aa_serve mode) and a stdio loop (the `--stdio` test mode). Both
+// only move bytes — parsing, validation, batching, and solving live in
+// Service.
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/channel.hpp"
+#include "svc/service.hpp"
+
+namespace aa::svc {
+
+/// Accept loop over a Unix domain stream socket. One reader thread per
+/// connection; replies are written back on the worker threads under a
+/// per-connection mutex. A request line longer than `max_line_bytes` gets
+/// a structured `too_large` error and the connection is closed (the stream
+/// cannot be resynchronized); a mid-line EOF is a clean disconnect.
+class SocketServer {
+ public:
+  SocketServer(Service& service, std::string socket_path,
+               std::size_t max_line_bytes = kDefaultMaxLineBytes);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Blocks accepting connections until the service reports
+  /// shutdown_requested(), then closes every connection and joins the
+  /// reader threads.
+  void run();
+
+ private:
+  struct Connection;
+
+  void connection_loop(std::shared_ptr<Connection> connection);
+  void shutdown_connections();
+
+  Service& service_;
+  std::string socket_path_;
+  std::size_t max_line_bytes_;
+  FdHandle listener_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> threads_;
+};
+
+/// Reads request lines from `in` until EOF (or the first line after a
+/// processed shutdown), echoing replies to `out` (one per line, flushed).
+/// `out` must stay valid until the service is stopped: replies still in
+/// flight when this returns are written during Service::stop().
+void serve_stdio(Service& service, std::istream& in, std::ostream& out,
+                 std::size_t max_line_bytes = kDefaultMaxLineBytes);
+
+}  // namespace aa::svc

@@ -1,0 +1,481 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+#include "obs/session.hpp"
+
+namespace aa::svc {
+
+namespace {
+
+using support::JsonValue;
+
+constexpr std::array<double, 3> kReportedQuantiles = {0.5, 0.9, 0.99};
+
+double ms_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Copies every member of `payload` onto `reply`.
+void merge_into(JsonValue& reply, const JsonValue& payload) {
+  for (const auto& [key, value] : payload.as_object()) {
+    reply.set(key, value);
+  }
+}
+
+}  // namespace
+
+void Service::SampleWindow::add(double sample) {
+  ++total_;
+  if (samples_.size() < limit_) {
+    samples_.push_back(sample);
+    return;
+  }
+  samples_[next_] = sample;
+  next_ = (next_ + 1) % limit_;
+}
+
+std::vector<double> Service::SampleWindow::snapshot() const {
+  return samples_;
+}
+
+Service::Service(ServiceConfig config)
+    : config_(config),
+      state_(config.num_servers, config.capacity),
+      solver_(config.warm) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.batch_max == 0) config_.batch_max = 1;
+}
+
+Service::~Service() { stop(); }
+
+void Service::start() {
+  if (pool_ != nullptr) return;
+  pool_ = std::make_unique<support::ThreadPool>(config_.workers);
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.push_back(pool_->submit([this] { worker_loop(); }));
+  }
+}
+
+void Service::stop() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::future<void>& worker : workers_) worker.get();
+  workers_.clear();
+  pool_.reset();
+  shutdown_requested_.store(true, std::memory_order_release);
+}
+
+bool Service::shutdown_requested() const noexcept {
+  return shutdown_requested_.load(std::memory_order_acquire);
+}
+
+void Service::submit_line(const std::string& line, ReplyFn reply) {
+  const Clock::time_point now = Clock::now();
+  obs::count("svc/requests");
+
+  Pending pending;
+  pending.reply = std::move(reply);
+  pending.enqueued = now;
+  pending.deadline = Clock::time_point::max();
+  std::optional<Op> op;
+  try {
+    pending.request = parse_request(line, config_.capacity);
+    op = pending.request.op;
+    const double deadline_ms =
+        pending.request.deadline_ms.value_or(config_.default_deadline_ms);
+    if (deadline_ms > 0.0) {
+      pending.deadline =
+          now + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(deadline_ms));
+    }
+  } catch (const ProtocolError& error) {
+    // Queued, not answered inline: the error reply must not overtake
+    // replies to requests submitted before this line.
+    obs::count("svc/errors");
+    pending.error_reply = make_error_reply(error.code(), error.what());
+  }
+
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (stopping_ || shutdown_requested()) {
+      std::lock_guard stats(stats_mutex_);
+      ++requests_total_;
+      ++errors_total_;
+      pending.reply(
+          pending.error_reply
+              ? pending.error_reply->dump()
+              : make_error_reply(error_code::kShuttingDown,
+                                 "service is shutting down",
+                                 op_name(pending.request.op),
+                                 pending.request.tag)
+                    .dump());
+      return;
+    }
+    if (queue_.size() >= config_.max_queue) {
+      std::lock_guard stats(stats_mutex_);
+      ++requests_total_;
+      ++errors_total_;
+      pending.reply(
+          pending.error_reply
+              ? pending.error_reply->dump()
+              : make_error_reply(error_code::kOverflow,
+                                 "request queue is full",
+                                 op_name(pending.request.op),
+                                 pending.request.tag)
+                    .dump());
+      return;
+    }
+    queue_.push_back(std::move(pending));
+    depth = queue_.size();
+  }
+  queue_cv_.notify_one();
+
+  {
+    std::lock_guard stats(stats_mutex_);
+    ++requests_total_;
+    if (op) {
+      ++op_counts_[static_cast<std::size_t>(*op)];
+    } else {
+      ++errors_total_;
+    }
+    queue_peak_ = std::max(queue_peak_, depth);
+  }
+  obs::time_sample("svc/queue_depth", static_cast<double>(depth));
+}
+
+std::string Service::request(const std::string& line) {
+  auto done = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = done->get_future();
+  submit_line(line,
+              [done](const std::string& text) { done->set_value(text); });
+  return future.get();
+}
+
+std::vector<Service::Pending> Service::pop_batch() {
+  std::unique_lock lock(queue_mutex_);
+  queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+  if (queue_.empty()) return {};
+
+  if (config_.batch_linger_ms > 0.0 && queue_.size() < config_.batch_max) {
+    const auto linger_until =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               config_.batch_linger_ms));
+    queue_cv_.wait_until(lock, linger_until, [this] {
+      return stopping_ || queue_.size() >= config_.batch_max;
+    });
+  }
+
+  std::vector<Pending> batch;
+  const std::size_t take = std::min(queue_.size(), config_.batch_max);
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+void Service::worker_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    std::vector<Outgoing> outgoing;
+    std::uint64_t seq = 0;
+    {
+      std::lock_guard turn(process_mutex_);
+      batch = pop_batch();
+      if (batch.empty()) return;
+      seq = next_batch_seq_++;
+      outgoing = process_batch(std::move(batch));
+    }
+    deliver_in_order(seq, std::move(outgoing));
+  }
+}
+
+void Service::deliver_in_order(std::uint64_t seq,
+                               std::vector<Outgoing> outgoing) {
+  // Render outside both the turn and the delivery lock: serialization of
+  // batch k overlaps the processing of batch k+1.
+  std::vector<std::pair<ReplyFn, std::string>> rendered;
+  rendered.reserve(outgoing.size());
+  for (Outgoing& out : outgoing) {
+    rendered.emplace_back(std::move(out.reply), out.value.dump());
+  }
+
+  std::unique_lock lock(deliver_mutex_);
+  deliver_cv_.wait(lock, [&] { return delivered_seq_ == seq; });
+  for (auto& [reply, text] : rendered) {
+    try {
+      reply(text);
+    } catch (...) {
+      // A dead connection must not take the service down.
+      obs::count("svc/reply_failures");
+    }
+  }
+  delivered_seq_ = seq + 1;
+  lock.unlock();
+  deliver_cv_.notify_all();
+}
+
+void Service::record_latency(const Pending& pending, Clock::time_point now) {
+  const double wall_ms = ms_between(pending.enqueued, now);
+  {
+    std::lock_guard stats(stats_mutex_);
+    request_latency_ms_.add(wall_ms);
+  }
+  obs::time_sample("svc/request", wall_ms);
+}
+
+std::vector<Service::Outgoing> Service::process_batch(
+    std::vector<Pending> batch) {
+  obs::count("svc/batches");
+  obs::time_sample("svc/batch_size", static_cast<double>(batch.size()));
+  {
+    std::lock_guard stats(stats_mutex_);
+    ++batches_;
+    batch_size_.add(static_cast<double>(batch.size()));
+  }
+
+  std::vector<Outgoing> out;
+  out.reserve(batch.size());
+  std::vector<std::size_t> solve_slots;
+  bool force_full = false;
+
+  const Clock::time_point started = Clock::now();
+  for (Pending& pending : batch) {
+    const Request& request = pending.request;
+    JsonValue reply;
+    try {
+      if (pending.error_reply) {
+        // Pre-failed at parse time; counted when it was enqueued.
+        reply = std::move(*pending.error_reply);
+      } else if (shutdown_requested()) {
+        reply = make_error_reply(error_code::kShuttingDown,
+                                 "service is shutting down",
+                                 op_name(request.op), request.tag);
+        std::lock_guard stats(stats_mutex_);
+        ++errors_total_;
+      } else if (started > pending.deadline) {
+        reply = make_error_reply(error_code::kTimeout,
+                                 "deadline expired before processing",
+                                 op_name(request.op), request.tag);
+        obs::count("svc/timeouts");
+        std::lock_guard stats(stats_mutex_);
+        ++errors_total_;
+        ++timeouts_;
+      } else {
+        switch (request.op) {
+          case Op::kAddThread: {
+            const ThreadId id = state_.add_thread(request.utility);
+            reply = make_ok_reply(request.op, request.tag);
+            reply.set("id", id);
+            reply.set("threads", state_.num_threads());
+            break;
+          }
+          case Op::kRemoveThread: {
+            if (state_.remove_thread(*request.id)) {
+              reply = make_ok_reply(request.op, request.tag);
+              reply.set("id", *request.id);
+              reply.set("threads", state_.num_threads());
+            } else {
+              reply = make_error_reply(
+                  error_code::kNotFound,
+                  "no thread with id " + std::to_string(*request.id),
+                  op_name(request.op), request.tag);
+              std::lock_guard stats(stats_mutex_);
+              ++errors_total_;
+            }
+            break;
+          }
+          case Op::kUpdateUtility: {
+            const bool found =
+                request.utility != nullptr
+                    ? state_.update_utility(*request.id, request.utility)
+                    : state_.scale_utility(*request.id, *request.factor);
+            if (found) {
+              reply = make_ok_reply(request.op, request.tag);
+              reply.set("id", *request.id);
+            } else {
+              reply = make_error_reply(
+                  error_code::kNotFound,
+                  "no thread with id " + std::to_string(*request.id),
+                  op_name(request.op), request.tag);
+              std::lock_guard stats(stats_mutex_);
+              ++errors_total_;
+            }
+            break;
+          }
+          case Op::kSolve:
+            // Deferred: all solves in the batch share one re-solve of the
+            // final state below.
+            solve_slots.push_back(out.size());
+            force_full = force_full || request.full_solve;
+            break;
+          case Op::kStats:
+            reply = make_ok_reply(request.op, request.tag);
+            merge_into(reply, stats_json());
+            break;
+          case Op::kShutdown: {
+            shutdown_requested_.store(true, std::memory_order_release);
+            {
+              std::lock_guard lock(queue_mutex_);
+              stopping_ = true;
+            }
+            queue_cv_.notify_all();
+            obs::count("svc/shutdowns");
+            reply = make_ok_reply(request.op, request.tag);
+            break;
+          }
+        }
+      }
+    } catch (const std::exception& error) {
+      reply = make_error_reply("internal", error.what(), op_name(request.op),
+                               request.tag);
+      obs::count("svc/internal_errors");
+      std::lock_guard stats(stats_mutex_);
+      ++errors_total_;
+    }
+    out.push_back(Outgoing{pending.reply, std::move(reply)});
+  }
+
+  if (!solve_slots.empty()) {
+    try {
+      const Clock::time_point solve_start = Clock::now();
+      ServiceSolveResult solved = solver_.solve(state_, force_full);
+      const double solve_ms = ms_between(solve_start, Clock::now());
+      {
+        std::lock_guard stats(stats_mutex_);
+        ++solves_by_path_[static_cast<std::size_t>(solved.path)];
+        solves_coalesced_ +=
+            static_cast<std::int64_t>(solve_slots.size()) - 1;
+        migrations_total_ += static_cast<std::int64_t>(solved.migrations);
+        solve_latency_ms_.add(solve_ms);
+      }
+      const JsonValue payload = solve_payload(solved, solve_ms);
+      for (const std::size_t slot : solve_slots) {
+        JsonValue reply = make_ok_reply(Op::kSolve, batch[slot].request.tag);
+        merge_into(reply, payload);
+        out[slot].value = std::move(reply);
+      }
+    } catch (const std::exception& error) {
+      obs::count("svc/internal_errors");
+      for (const std::size_t slot : solve_slots) {
+        out[slot].value =
+            make_error_reply("internal", error.what(), op_name(Op::kSolve),
+                             batch[slot].request.tag);
+        std::lock_guard stats(stats_mutex_);
+        ++errors_total_;
+      }
+    }
+  }
+
+  const Clock::time_point finished = Clock::now();
+  for (const Pending& pending : batch) record_latency(pending, finished);
+  return out;
+}
+
+JsonValue Service::solve_payload(const ServiceSolveResult& solved,
+                                 double solve_ms) const {
+  const obs::Certificate& certificate = solved.certificate;
+  JsonValue payload;
+  payload.set("path", solve_path_name(solved.path));
+  payload.set("threads", solved.ids.size());
+  payload.set("utility", solved.result.utility);
+  payload.set("super_optimal_utility", solved.result.super_optimal_utility);
+  payload.set("linearized_utility", solved.result.linearized_utility);
+  payload.set("alpha", certificate.input.alpha);
+  payload.set("achieved_ratio", certificate.achieved_ratio);
+  payload.set("certificate_ok", certificate.ok());
+  if (!certificate.ok()) {
+    JsonValue::Array violations;
+    for (const std::string& violation : certificate.violations) {
+      violations.emplace_back(violation);
+    }
+    payload.set("violations", JsonValue(std::move(violations)));
+  }
+  payload.set("migrations", solved.migrations);
+  payload.set("solve_ms", solve_ms);
+  JsonValue::Array assignment;
+  assignment.reserve(solved.ids.size());
+  for (std::size_t i = 0; i < solved.ids.size(); ++i) {
+    JsonValue entry;
+    entry.set("id", solved.ids[i]);
+    entry.set("server", solved.result.assignment.server[i]);
+    entry.set("alloc", solved.result.assignment.alloc[i]);
+    assignment.push_back(std::move(entry));
+  }
+  payload.set("assignment", JsonValue(std::move(assignment)));
+  return payload;
+}
+
+JsonValue Service::stats_json() {
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(queue_mutex_);
+    depth = queue_.size();
+  }
+
+  const auto latency_json = [](const SampleWindow& window) {
+    JsonValue node;
+    node.set("count", window.total());
+    const std::vector<double> samples = window.snapshot();
+    if (!samples.empty()) {
+      const std::vector<double> cut =
+          support::quantiles(samples, kReportedQuantiles);
+      node.set("p50_ms", cut[0]);
+      node.set("p90_ms", cut[1]);
+      node.set("p99_ms", cut[2]);
+      node.set("max_ms", *std::max_element(samples.begin(), samples.end()));
+    }
+    return node;
+  };
+
+  std::lock_guard stats(stats_mutex_);
+  JsonValue payload;
+  payload.set("threads", state_.num_threads());
+  payload.set("servers", state_.num_servers());
+  payload.set("capacity", state_.capacity());
+  payload.set("version", state_.version());
+  payload.set("queue_depth", depth);
+  payload.set("queue_peak", queue_peak_);
+  payload.set("requests_total", requests_total_);
+  JsonValue ops;
+  for (const Op op : {Op::kAddThread, Op::kRemoveThread, Op::kUpdateUtility,
+                      Op::kSolve, Op::kStats, Op::kShutdown}) {
+    ops.set(std::string(op_name(op)),
+            op_counts_[static_cast<std::size_t>(op)]);
+  }
+  payload.set("requests", std::move(ops));
+  payload.set("errors_total", errors_total_);
+  payload.set("timeouts", timeouts_);
+  payload.set("batches", batches_);
+  JsonValue batching;
+  batching.set("mean_size",
+               batch_size_.count() > 0 ? batch_size_.mean() : 0.0);
+  batching.set("max_size", batch_size_.count() > 0 ? batch_size_.max() : 0.0);
+  payload.set("batching", std::move(batching));
+  JsonValue solves;
+  solves.set("full",
+             solves_by_path_[static_cast<std::size_t>(SolvePath::kFull)]);
+  solves.set("warm",
+             solves_by_path_[static_cast<std::size_t>(SolvePath::kWarm)]);
+  solves.set("cached",
+             solves_by_path_[static_cast<std::size_t>(SolvePath::kCached)]);
+  solves.set("coalesced", solves_coalesced_);
+  payload.set("solves", std::move(solves));
+  payload.set("migrations", migrations_total_);
+  payload.set("request_latency", latency_json(request_latency_ms_));
+  payload.set("solve_latency", latency_json(solve_latency_ms_));
+  return payload;
+}
+
+}  // namespace aa::svc

@@ -1,0 +1,190 @@
+#pragma once
+
+// Transport-independent core of the allocation service.
+//
+// Connections (Unix socket, stdio, or tests) feed raw request lines into
+// submit_line(); replies come back through a per-request callback. In
+// between sits a bounded FIFO request queue drained by a worker pool
+// (support/thread_pool):
+//
+//   - Workers take strict turns draining: one worker pops a *batch* of up
+//     to `batch_max` requests (lingering `batch_linger_ms` after the first
+//     so bursts coalesce), applies every delta in arrival order, and
+//     answers all solve requests in the batch with ONE re-solve of the
+//     final state (coalescing). Reply *rendering* happens outside the
+//     turn, so JSON serialization overlaps the next batch's solve; a
+//     sequencer then delivers batches in order, preserving global FIFO.
+//   - Requests carry optional deadlines (request `deadline_ms` overriding
+//     the config default); a request picked up past its deadline gets a
+//     structured `timeout` error instead of being executed.
+//   - Solves go through WarmStartSolver: cached / warm (placement pinned,
+//     zero migrations) / full Algorithm 2, every reply carrying the
+//     0.828-approximation certificate verdict.
+//
+// The service keeps its own counters and latency windows (the `stats` op)
+// and mirrors them into the installed aa::obs session (svc/* counters,
+// svc/request + svc/solve timers, queue-depth and batch-size samples), so
+// `aa_serve --metrics` exports them through the existing JSON path.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/stats.hpp"
+#include "support/thread_pool.hpp"
+#include "svc/instance_state.hpp"
+#include "svc/protocol.hpp"
+#include "svc/warm_start.hpp"
+
+namespace aa::svc {
+
+struct ServiceConfig {
+  std::size_t num_servers = 2;
+  util::Resource capacity = 64;
+  /// Drain workers (each runs one turn-taking batch loop).
+  std::size_t workers = 2;
+  /// Requests coalesced into one drain turn.
+  std::size_t batch_max = 64;
+  /// After the first pop, wait this long for stragglers to join the batch.
+  double batch_linger_ms = 0.0;
+  /// Applied when a request has no deadline_ms of its own; <= 0 disables.
+  double default_deadline_ms = 0.0;
+  /// Enqueue beyond this depth is answered with an `overflow` error.
+  std::size_t max_queue = 4096;
+  WarmStartConfig warm;
+};
+
+class Service {
+ public:
+  using ReplyFn = std::function<void(const std::string&)>;
+
+  explicit Service(ServiceConfig config);
+  /// stop()s if still running.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Spawns the drain workers. Requests submitted before start() queue up
+  /// and are processed once workers run (tests use this for deterministic
+  /// batching).
+  void start();
+
+  /// Stops accepting requests, drains the queue, and joins the workers.
+  /// Safe to call repeatedly; never call from a worker callback.
+  void stop();
+
+  /// True once a shutdown request was processed (or stop() was called);
+  /// transports use this to leave their accept/read loops.
+  [[nodiscard]] bool shutdown_requested() const noexcept;
+
+  /// Parses and enqueues one request line. Exactly one reply line (no
+  /// trailing newline) is delivered through `reply`. Protocol errors are
+  /// enqueued like any other request so replies keep request order; only
+  /// queue overflow and post-shutdown submissions are answered inline
+  /// (they cannot join the queue by definition). Thread-safe.
+  void submit_line(const std::string& line, ReplyFn reply);
+
+  /// Synchronous round trip (submit_line + wait); used by tests.
+  [[nodiscard]] std::string request(const std::string& line);
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    Request request;
+    ReplyFn reply;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;  ///< Clock::time_point::max() when none.
+    /// Set when the line failed to parse: the request carries its error
+    /// reply through the queue so delivery stays in request order.
+    std::optional<support::JsonValue> error_reply;
+  };
+
+  /// Rendered-later reply: the JSON tree plus its destination.
+  struct Outgoing {
+    ReplyFn reply;
+    support::JsonValue value;
+  };
+
+  /// Fixed-size sliding window of recent samples for quantile reporting.
+  struct SampleWindow {
+    explicit SampleWindow(std::size_t limit) : limit_(limit) {}
+    void add(double sample);
+    [[nodiscard]] std::vector<double> snapshot() const;
+    [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+   private:
+    std::size_t limit_;
+    std::size_t next_ = 0;
+    std::size_t total_ = 0;
+    std::vector<double> samples_;
+  };
+
+  void worker_loop();
+  /// Pops the next batch; empty result means "stopping and drained".
+  [[nodiscard]] std::vector<Pending> pop_batch();
+  /// Applies one batch to the state and builds the reply trees.
+  [[nodiscard]] std::vector<Outgoing> process_batch(
+      std::vector<Pending> batch);
+  void deliver_in_order(std::uint64_t seq, std::vector<Outgoing> outgoing);
+  [[nodiscard]] support::JsonValue stats_json();
+  [[nodiscard]] support::JsonValue solve_payload(
+      const ServiceSolveResult& solved, double solve_ms) const;
+  void record_latency(const Pending& pending, Clock::time_point now);
+
+  ServiceConfig config_;
+
+  // Request queue (queue_mutex_): transports enqueue, drain turns pop.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+
+  // Drain turn (process_mutex_): one batch at a time, in pop order. Held
+  // across pop + state mutation + solve; rendering happens outside.
+  std::mutex process_mutex_;
+  std::uint64_t next_batch_seq_ = 0;
+  InstanceState state_;
+  WarmStartSolver solver_;
+
+  // Ordered delivery of rendered batches.
+  std::mutex deliver_mutex_;
+  std::condition_variable deliver_cv_;
+  std::uint64_t delivered_seq_ = 0;
+
+  // Service-side statistics (stats_mutex_), surfaced by the `stats` op.
+  mutable std::mutex stats_mutex_;
+  std::int64_t requests_total_ = 0;
+  std::int64_t op_counts_[6] = {};
+  std::int64_t errors_total_ = 0;
+  std::int64_t timeouts_ = 0;
+  std::int64_t batches_ = 0;
+  std::int64_t solves_coalesced_ = 0;
+  std::int64_t solves_by_path_[3] = {};  ///< Indexed by SolvePath.
+  std::int64_t migrations_total_ = 0;
+  std::size_t queue_peak_ = 0;
+  support::RunningStats batch_size_;
+  SampleWindow request_latency_ms_{16384};
+  SampleWindow solve_latency_ms_{4096};
+
+  std::atomic<bool> shutdown_requested_{false};
+  std::unique_ptr<support::ThreadPool> pool_;
+  std::vector<std::future<void>> workers_;
+};
+
+}  // namespace aa::svc

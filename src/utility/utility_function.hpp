@@ -114,6 +114,10 @@ class ScaledUtility final : public UtilityFunction {
   }
   [[nodiscard]] double marginal(Resource k) const override;
   [[nodiscard]] double factor() const noexcept { return factor_; }
+  /// The wrapped function; lets repeated re-scaling (e.g. long drift
+  /// streams in the allocation service) collapse to a single wrapper
+  /// instead of growing an evaluation chain.
+  [[nodiscard]] const UtilityPtr& base() const noexcept { return base_; }
 
  private:
   UtilityPtr base_;

@@ -120,6 +120,39 @@ TEST(Quantile, MatchesExponentialTheory) {
   EXPECT_NEAR(quantile(samples, 0.95), -std::log(0.05), 0.05);
 }
 
+TEST(Quantiles, MatchesSingleQuantileCalls) {
+  Rng rng(11);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng.normal(0.0, 3.0));
+  const double qs[] = {0.0, 0.25, 0.5, 0.9, 0.99, 1.0};
+  const std::vector<double> batched = quantiles(samples, qs);
+  ASSERT_EQ(batched.size(), std::size(qs));
+  for (std::size_t i = 0; i < std::size(qs); ++i) {
+    EXPECT_DOUBLE_EQ(batched[i], quantile(samples, qs[i])) << "q=" << qs[i];
+  }
+}
+
+TEST(Quantiles, UnsortedProbesAndInput) {
+  const std::vector<double> samples{3.0, 1.0, 4.0, 2.0};
+  const double qs[] = {1.0, 0.0, 0.5};
+  const std::vector<double> batched = quantiles(samples, qs);
+  ASSERT_EQ(batched.size(), 3u);
+  EXPECT_DOUBLE_EQ(batched[0], 4.0);
+  EXPECT_DOUBLE_EQ(batched[1], 1.0);
+  EXPECT_DOUBLE_EQ(batched[2], 2.5);
+}
+
+TEST(Quantiles, EmptyProbeListIsEmpty) {
+  EXPECT_TRUE(quantiles({1.0, 2.0}, {}).empty());
+}
+
+TEST(Quantiles, Rejections) {
+  const double half[] = {0.5};
+  EXPECT_THROW((void)quantiles({}, half), std::invalid_argument);
+  const double bad[] = {0.5, 1.5};
+  EXPECT_THROW((void)quantiles({1.0}, bad), std::invalid_argument);
+}
+
 TEST(AlmostEqual, BasicBehaviour) {
   EXPECT_TRUE(almost_equal(1.0, 1.0));
   EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));

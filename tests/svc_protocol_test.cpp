@@ -1,0 +1,196 @@
+// Tests for the service wire protocol parser (svc/protocol.hpp): valid
+// requests round-trip, and every class of malformed input is rejected with
+// a stable error code instead of crashing (the json_fuzz_test counterpart
+// for the service surface).
+
+#include "svc/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/json.hpp"
+#include "support/prng.hpp"
+
+namespace aa::svc {
+namespace {
+
+constexpr util::Resource kCapacity = 64;
+
+Request parse(const std::string& line) {
+  return parse_request(line, kCapacity);
+}
+
+std::string code_of(const std::string& line) {
+  try {
+    (void)parse(line);
+  } catch (const ProtocolError& error) {
+    return error.code();
+  }
+  return "";
+}
+
+TEST(ProtocolParse, AddThread) {
+  const Request request = parse(
+      R"({"op": "add_thread", "thread": {"type": "power", "scale": 2.0, "beta": 0.5}, "tag": "t1"})");
+  EXPECT_EQ(request.op, Op::kAddThread);
+  EXPECT_EQ(request.tag, "t1");
+  ASSERT_NE(request.utility, nullptr);
+  EXPECT_NEAR(request.utility->value(4.0), 4.0, 1e-12);
+  EXPECT_FALSE(request.id.has_value());
+  EXPECT_FALSE(request.deadline_ms.has_value());
+}
+
+TEST(ProtocolParse, RemoveAndUpdate) {
+  const Request remove = parse(R"({"op": "remove_thread", "id": 7})");
+  EXPECT_EQ(remove.op, Op::kRemoveThread);
+  EXPECT_EQ(remove.id, 7u);
+
+  const Request scale =
+      parse(R"({"op": "update_utility", "id": 3, "factor": 1.25})");
+  EXPECT_EQ(scale.op, Op::kUpdateUtility);
+  EXPECT_EQ(scale.id, 3u);
+  EXPECT_EQ(scale.factor, 1.25);
+  EXPECT_EQ(scale.utility, nullptr);
+
+  const Request replace = parse(
+      R"({"op": "update_utility", "id": 3, "thread": {"type": "log", "scale": 1.0, "rate": 0.1}})");
+  EXPECT_NE(replace.utility, nullptr);
+  EXPECT_FALSE(replace.factor.has_value());
+}
+
+TEST(ProtocolParse, SolveModesAndDeadline) {
+  EXPECT_FALSE(parse(R"({"op": "solve"})").full_solve);
+  EXPECT_FALSE(parse(R"({"op": "solve", "mode": "auto"})").full_solve);
+  EXPECT_TRUE(parse(R"({"op": "solve", "mode": "full"})").full_solve);
+  const Request timed = parse(R"({"op": "stats", "deadline_ms": 12.5})");
+  EXPECT_EQ(timed.deadline_ms, 12.5);
+}
+
+TEST(ProtocolParse, MalformedJsonIsParseError) {
+  EXPECT_EQ(code_of(""), error_code::kParseError);
+  EXPECT_EQ(code_of("not json"), error_code::kParseError);
+  EXPECT_EQ(code_of("{"), error_code::kParseError);
+  EXPECT_EQ(code_of(R"({"op": "solve")"), error_code::kParseError);
+  EXPECT_EQ(code_of("{\"op\": \"solve\"} trailing"),
+            error_code::kParseError);
+  EXPECT_EQ(code_of("\xff\xfe"), error_code::kParseError);
+}
+
+TEST(ProtocolParse, NonObjectOrMissingOpIsBadRequest) {
+  EXPECT_EQ(code_of("42"), error_code::kBadRequest);
+  EXPECT_EQ(code_of("[1, 2]"), error_code::kBadRequest);
+  EXPECT_EQ(code_of("null"), error_code::kBadRequest);
+  EXPECT_EQ(code_of("{}"), error_code::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op": 3})"), error_code::kBadRequest);
+}
+
+TEST(ProtocolParse, UnknownOp) {
+  EXPECT_EQ(code_of(R"({"op": "frobnicate"})"), error_code::kUnknownOp);
+  EXPECT_EQ(code_of(R"({"op": ""})"), error_code::kUnknownOp);
+  EXPECT_EQ(code_of(R"({"op": "SOLVE"})"), error_code::kUnknownOp);
+}
+
+TEST(ProtocolParse, FieldValidation) {
+  // Missing requireds.
+  EXPECT_EQ(code_of(R"({"op": "add_thread"})"), error_code::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op": "remove_thread"})"), error_code::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op": "update_utility", "id": 1})"),
+            error_code::kBadRequest);
+  // update_utility takes exactly one of thread/factor.
+  EXPECT_EQ(
+      code_of(
+          R"({"op": "update_utility", "id": 1, "factor": 1.0, "thread": {"type": "power", "scale": 1.0, "beta": 0.5}})"),
+      error_code::kBadRequest);
+  // Ill-typed fields.
+  EXPECT_EQ(code_of(R"({"op": "remove_thread", "id": "seven"})"),
+            error_code::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op": "remove_thread", "id": -3})"),
+            error_code::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op": "remove_thread", "id": 1.5})"),
+            error_code::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op": "add_thread", "thread": "power"})"),
+            error_code::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op": "solve", "mode": "sideways"})"),
+            error_code::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op": "solve", "tag": 9})"),
+            error_code::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op": "stats", "deadline_ms": "soon"})"),
+            error_code::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op": "update_utility", "id": 1, "factor": -2.0})"),
+            error_code::kBadRequest);
+  // Unknown fields fail loudly rather than being silently dropped.
+  EXPECT_EQ(code_of(R"({"op": "solve", "bogus": 1})"),
+            error_code::kBadRequest);
+  // Ops that take no payload reject one.
+  EXPECT_EQ(code_of(R"({"op": "shutdown", "id": 1})"),
+            error_code::kBadRequest);
+}
+
+TEST(ProtocolParse, BadThreadSpecs) {
+  // Unknown utility type / malformed parameters surface as bad_request.
+  EXPECT_EQ(code_of(R"({"op": "add_thread", "thread": {"type": "warp"}})"),
+            error_code::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op": "add_thread", "thread": {}})"),
+            error_code::kBadRequest);
+  // Tabulated spec narrower than the capacity cannot serve this instance.
+  EXPECT_EQ(
+      code_of(
+          R"({"op": "add_thread", "thread": {"type": "tabulated", "values": [0, 1, 2]}})"),
+      error_code::kBadRequest);
+}
+
+TEST(ProtocolParse, FuzzedMutationsNeverCrash) {
+  // Random structural mutations of a valid request: parse either succeeds
+  // or throws ProtocolError; nothing else may escape.
+  const std::string seed_line =
+      R"({"op": "add_thread", "thread": {"type": "power", "scale": 1.0, "beta": 0.5}, "tag": "x"})";
+  support::Rng rng(2024);
+  for (int round = 0; round < 2000; ++round) {
+    std::string line = seed_line;
+    const std::size_t edits = 1 + rng.uniform_below(4);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.uniform_below(line.size());
+      switch (rng.uniform_below(3)) {
+        case 0:
+          line[pos] = static_cast<char>(rng.uniform_below(256));
+          break;
+        case 1:
+          line.erase(pos, 1);
+          break;
+        default:
+          line.insert(pos, 1, static_cast<char>(rng.uniform_below(256)));
+          break;
+      }
+      if (line.empty()) line.push_back('x');
+    }
+    try {
+      (void)parse(line);
+    } catch (const ProtocolError&) {
+      // Expected for most mutations.
+    }
+  }
+}
+
+TEST(ProtocolReplies, ErrorAndOkShapes) {
+  const support::JsonValue error =
+      make_error_reply(error_code::kTimeout, "too slow", "solve", "t9");
+  EXPECT_FALSE(error.at("ok").as_bool());
+  EXPECT_EQ(error.at("code").as_string(), "timeout");
+  EXPECT_EQ(error.at("error").as_string(), "too slow");
+  EXPECT_EQ(error.at("op").as_string(), "solve");
+  EXPECT_EQ(error.at("tag").as_string(), "t9");
+
+  const support::JsonValue minimal =
+      make_error_reply(error_code::kParseError, "bad line");
+  EXPECT_EQ(minimal.find("op"), nullptr);
+  EXPECT_EQ(minimal.find("tag"), nullptr);
+
+  const support::JsonValue ok = make_ok_reply(Op::kStats, "s");
+  EXPECT_TRUE(ok.at("ok").as_bool());
+  EXPECT_EQ(ok.at("op").as_string(), "stats");
+  EXPECT_EQ(ok.at("tag").as_string(), "s");
+}
+
+}  // namespace
+}  // namespace aa::svc

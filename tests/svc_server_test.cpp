@@ -1,0 +1,232 @@
+// Transport tests for the allocation service: in-process Unix-domain
+// socket round trips (svc/server.hpp + svc/channel.hpp) plus end-to-end
+// runs of the real aa_serve / aa_loadgen binaries (paths baked in via
+// AA_SERVE_BIN / AA_LOADGEN_BIN).
+
+#include "svc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "support/json.hpp"
+#include "svc/channel.hpp"
+#include "svc/service.hpp"
+
+namespace aa::svc {
+namespace {
+
+using support::JsonValue;
+using support::json_parse;
+
+constexpr const char* kAddPower =
+    R"({"op": "add_thread", "thread": {"type": "power", "scale": 1.0, "beta": 0.5}})";
+
+std::string socket_path(const std::string& name) {
+  // Keep it short: sun_path caps at ~108 bytes.
+  return "/tmp/aa_svc_test_" + name + "_" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+/// Service + SocketServer wired up on a fresh socket, server loop running
+/// on a background thread until shutdown.
+class SocketFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { start(ServiceConfig{}, kDefaultMaxLineBytes); }
+
+  void start(ServiceConfig config, std::size_t max_line_bytes) {
+    path_ = socket_path(
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    service_ = std::make_unique<Service>(config);
+    service_->start();
+    server_ = std::make_unique<SocketServer>(*service_, path_,
+                                             max_line_bytes);
+    server_thread_ = std::thread([this] { server_->run(); });
+  }
+
+  void TearDown() override {
+    if (!shut_down_) {
+      // Drive the normal path: a shutdown request ends the accept loop.
+      FdHandle fd = connect_unix(path_, 2000);
+      LineChannel channel(fd.get(), kDefaultMaxLineBytes);
+      ASSERT_TRUE(channel.write_line(R"({"op": "shutdown"})"));
+      (void)channel.read_line();
+    }
+    server_thread_.join();
+    server_.reset();
+    service_->stop();
+  }
+
+  JsonValue round_trip(LineChannel& channel, const std::string& line) {
+    EXPECT_TRUE(channel.write_line(line));
+    const std::optional<std::string> reply = channel.read_line();
+    EXPECT_TRUE(reply.has_value());
+    return json_parse(reply.value_or("null"));
+  }
+
+  std::string path_;
+  std::unique_ptr<Service> service_;
+  std::unique_ptr<SocketServer> server_;
+  std::thread server_thread_;
+  bool shut_down_ = false;
+};
+
+TEST_F(SocketFixture, RoundTripOverSocket) {
+  FdHandle fd = connect_unix(path_, 2000);
+  LineChannel channel(fd.get(), kDefaultMaxLineBytes);
+  const JsonValue added = round_trip(channel, kAddPower);
+  EXPECT_TRUE(added.at("ok").as_bool());
+  const JsonValue solved = round_trip(channel, R"({"op": "solve"})");
+  EXPECT_TRUE(solved.at("ok").as_bool());
+  EXPECT_TRUE(solved.at("certificate_ok").as_bool());
+  const JsonValue bad = round_trip(channel, "garbage");
+  EXPECT_EQ(bad.at("code").as_string(), "parse_error");
+}
+
+TEST_F(SocketFixture, ShutdownRequestStopsTheServer) {
+  FdHandle fd = connect_unix(path_, 2000);
+  LineChannel channel(fd.get(), kDefaultMaxLineBytes);
+  const JsonValue reply = round_trip(channel, R"({"op": "shutdown"})");
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  shut_down_ = true;  // TearDown only joins.
+}
+
+TEST_F(SocketFixture, TwoConnectionsInterleaved) {
+  FdHandle fd_a = connect_unix(path_, 2000);
+  FdHandle fd_b = connect_unix(path_, 2000);
+  LineChannel a(fd_a.get(), kDefaultMaxLineBytes);
+  LineChannel b(fd_b.get(), kDefaultMaxLineBytes);
+  const JsonValue add_a = round_trip(a, kAddPower);
+  const JsonValue add_b = round_trip(b, kAddPower);
+  EXPECT_NE(add_a.at("id").as_int(), add_b.at("id").as_int());
+  // Tags come back on the connection that sent them.
+  EXPECT_EQ(round_trip(a, R"({"op": "stats", "tag": "A"})")
+                .at("tag")
+                .as_string(),
+            "A");
+  EXPECT_EQ(round_trip(b, R"({"op": "stats", "tag": "B"})")
+                .at("tag")
+                .as_string(),
+            "B");
+}
+
+TEST_F(SocketFixture, MidStreamEofIsACleanDisconnect) {
+  {
+    FdHandle fd = connect_unix(path_, 2000);
+    // Half a request, no newline, then hang up.
+    ASSERT_GT(::send(fd.get(), "{\"op\": \"so", 10, 0), 0);
+  }  // fd closes here.
+  // The server survives and keeps serving new connections.
+  FdHandle fd = connect_unix(path_, 2000);
+  LineChannel channel(fd.get(), kDefaultMaxLineBytes);
+  EXPECT_TRUE(round_trip(channel, R"({"op": "stats"})").at("ok").as_bool());
+}
+
+class SmallLineFixture : public SocketFixture {
+ protected:
+  void SetUp() override { start(ServiceConfig{}, /*max_line_bytes=*/128); }
+};
+
+TEST_F(SmallLineFixture, OversizedLineGetsTooLargeThenDisconnect) {
+  FdHandle fd = connect_unix(path_, 2000);
+  LineChannel channel(fd.get(), kDefaultMaxLineBytes);
+  const std::string oversized =
+      R"({"op": "solve", "tag": ")" + std::string(500, 'x') + R"("})";
+  const JsonValue reply = round_trip(channel, oversized);
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("code").as_string(), "too_large");
+  // The stream cannot be resynchronized: the server closes it.
+  EXPECT_FALSE(channel.write_line(R"({"op": "stats"})") &&
+               channel.read_line().has_value());
+  // A fresh connection with a small request still works.
+  FdHandle fresh = connect_unix(path_, 2000);
+  LineChannel fresh_channel(fresh.get(), kDefaultMaxLineBytes);
+  EXPECT_TRUE(
+      round_trip(fresh_channel, R"({"op": "stats"})").at("ok").as_bool());
+}
+
+// --- Binary-driven tests -------------------------------------------------
+
+struct CommandResult {
+  int status = -1;
+  std::string output;
+};
+
+CommandResult run_command(const std::string& command) {
+  CommandResult result;
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  std::size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof buffer, pipe)) > 0) {
+    result.output.append(buffer, read);
+  }
+  result.status = ::pclose(pipe);
+  return result;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+constexpr const char* kServe = AA_SERVE_BIN;
+constexpr const char* kLoadgen = AA_LOADGEN_BIN;
+
+TEST(ServeBinary, StdioSession) {
+  const std::string script =
+      R"({"op": "add_thread", "thread": {"type": "log", "scale": 2.0, "rate": 0.1}})"
+      "\\n"
+      R"({"op": "solve"})"
+      "\\n"
+      R"({"op": "bogus"})"
+      "\\n"
+      R"({"op": "shutdown"})";
+  const CommandResult run = run_command("printf '" + script + "\\n' | " +
+                                        kServe + " --capacity 32");
+  ASSERT_EQ(run.status, 0) << run.output;
+  const std::vector<std::string> replies = lines_of(run.output);
+  ASSERT_EQ(replies.size(), 4u) << run.output;
+  EXPECT_TRUE(json_parse(replies[0]).at("ok").as_bool());
+  const JsonValue solved = json_parse(replies[1]);
+  EXPECT_TRUE(solved.at("ok").as_bool());
+  EXPECT_TRUE(solved.at("certificate_ok").as_bool());
+  EXPECT_EQ(json_parse(replies[2]).at("code").as_string(), "unknown_op");
+  EXPECT_TRUE(json_parse(replies[3]).at("ok").as_bool());
+}
+
+TEST(ServeBinary, LoadgenSoakEndsWithZeroFailures) {
+  const std::string sock = socket_path("soak");
+  // One shell: server in the background, loadgen drives it (including the
+  // final shutdown), then the server's own exit status is checked too.
+  const std::string command =
+      std::string("sh -c '") + kServe + " --socket " + sock +
+      " --batch-linger-ms 0.2 & server=$!; " + kLoadgen + " --socket " +
+      sock + " --requests 300 --connections 3 --seed 9 --shutdown 1; "
+      "rc=$?; wait $server || rc=1; exit $rc'";
+  const CommandResult run = run_command(command);
+  EXPECT_EQ(run.status, 0) << run.output;
+  EXPECT_NE(run.output.find("failures: 0"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("latency ms: p50 "), std::string::npos)
+      << run.output;
+}
+
+}  // namespace
+}  // namespace aa::svc

@@ -1,0 +1,218 @@
+// Tests for the warm-start incremental solver (svc/warm_start.hpp).
+//
+// The property at the heart of the service: after ANY delta sequence, the
+// solve reply's certificate chain verifies against the *current* instance,
+// so warm-start utility is never below alpha * F_hat (0.828 * the
+// super-optimal bound). The sticky/warm path must additionally never
+// migrate more than a from-scratch re-solve policy over the same deltas.
+
+#include "svc/warm_start.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aa/certify.hpp"
+#include "aa/problem.hpp"
+#include "aa/solve_result.hpp"
+#include "support/distributions.hpp"
+#include "support/prng.hpp"
+#include "svc/instance_state.hpp"
+#include "utility/generator.hpp"
+
+namespace aa::svc {
+namespace {
+
+constexpr util::Resource kCapacity = 64;
+constexpr std::size_t kServers = 3;
+
+util::UtilityPtr random_utility(support::Rng& rng) {
+  support::DistributionParams dist;  // Section VII uniform H.
+  return util::generate_utility(kCapacity, dist, rng);
+}
+
+InstanceState seeded_state(std::size_t threads, support::Rng& rng) {
+  InstanceState state(kServers, kCapacity);
+  for (std::size_t i = 0; i < threads; ++i) {
+    (void)state.add_thread(random_utility(rng));
+  }
+  return state;
+}
+
+/// Re-certifies a solve result against the state it claims to solve,
+/// including the O(n C) concavity sweep the service skips per-solve.
+void expect_certified(const InstanceState& state,
+                      const ServiceSolveResult& solved,
+                      const std::string& context) {
+  EXPECT_TRUE(solved.certificate.ok())
+      << context << ": " << solved.certificate.to_json().dump();
+  const core::Instance instance = state.to_instance();
+  const obs::Certificate recheck =
+      core::certify(instance, solved.result, "recheck",
+                    core::CertifyOptions{/*check_concavity=*/true});
+  EXPECT_TRUE(recheck.ok()) << context << ": " << recheck.to_json().dump();
+  EXPECT_GE(solved.result.utility,
+            core::kApproximationRatio * solved.result.super_optimal_utility -
+                1e-7 * (1.0 + solved.result.super_optimal_utility))
+      << context;
+}
+
+TEST(WarmStartSolver, EmptyInstanceSolves) {
+  InstanceState state(kServers, kCapacity);
+  WarmStartSolver solver;
+  const ServiceSolveResult solved = solver.solve(state);
+  EXPECT_TRUE(solved.certificate.ok());
+  EXPECT_TRUE(solved.ids.empty());
+  EXPECT_DOUBLE_EQ(solved.result.utility, 0.0);
+}
+
+TEST(WarmStartSolver, CachedPathWhenVersionUnchanged) {
+  support::Rng rng(1);
+  InstanceState state = seeded_state(6, rng);
+  WarmStartSolver solver;
+  const ServiceSolveResult first = solver.solve(state);
+  EXPECT_EQ(first.path, SolvePath::kFull);  // No previous solution yet.
+  const ServiceSolveResult second = solver.solve(state);
+  EXPECT_EQ(second.path, SolvePath::kCached);
+  EXPECT_EQ(second.migrations, 0u);
+  EXPECT_DOUBLE_EQ(second.result.utility, first.result.utility);
+  expect_certified(state, second, "cached");
+}
+
+TEST(WarmStartSolver, ForceFullSkipsCacheAndWarm) {
+  support::Rng rng(2);
+  InstanceState state = seeded_state(6, rng);
+  WarmStartSolver solver;
+  (void)solver.solve(state);
+  const ServiceSolveResult forced = solver.solve(state, /*force_full=*/true);
+  EXPECT_EQ(forced.path, SolvePath::kFull);
+  expect_certified(state, forced, "forced full");
+}
+
+TEST(WarmStartSolver, WarmPathPinsPlacement) {
+  support::Rng rng(3);
+  InstanceState state = seeded_state(10, rng);
+  WarmStartSolver solver;
+  (void)solver.solve(state);
+  // One mild drift delta: few deltas, so the warm path is eligible; when
+  // taken it must not migrate anything.
+  ASSERT_TRUE(state.scale_utility(state.threads()[0].first, 1.02));
+  const ServiceSolveResult solved = solver.solve(state);
+  EXPECT_NE(solved.path, SolvePath::kCached);
+  if (solved.path == SolvePath::kWarm) {
+    EXPECT_EQ(solved.migrations, 0u);
+  }
+  expect_certified(state, solved, "after mild drift");
+}
+
+TEST(WarmStartSolver, ManyDeltasForceFullResolve) {
+  support::Rng rng(4);
+  InstanceState state = seeded_state(12, rng);
+  WarmStartConfig config;
+  config.resolve_delta_min = 4;
+  config.resolve_delta_fraction = 0.25;
+  WarmStartSolver solver(config);
+  (void)solver.solve(state);
+  // 5 deltas > max(4, 0.25 * 12) = 4: warm path no longer trusted.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(state.scale_utility(state.threads()[0].first, 1.01));
+  }
+  const ServiceSolveResult solved = solver.solve(state);
+  EXPECT_EQ(solved.path, SolvePath::kFull);
+  expect_certified(state, solved, "past delta threshold");
+}
+
+TEST(WarmStartSolver, ResetDropsWarmState) {
+  support::Rng rng(5);
+  InstanceState state = seeded_state(6, rng);
+  WarmStartSolver solver;
+  (void)solver.solve(state);
+  solver.reset();
+  const ServiceSolveResult solved = solver.solve(state);
+  EXPECT_EQ(solved.path, SolvePath::kFull);
+}
+
+/// One random delta; returns true when it changed the state.
+bool apply_random_delta(InstanceState& state, support::Rng& rng,
+                        double drift_low, double drift_high) {
+  const double dice = rng.uniform01();
+  if (state.num_threads() == 0 || dice < 0.12) {
+    (void)state.add_thread(random_utility(rng));
+    return true;
+  }
+  const std::size_t pick = rng.uniform_below(state.num_threads());
+  const ThreadId id = state.threads()[pick].first;
+  if (dice < 0.24 && state.num_threads() > 2) {
+    return state.remove_thread(id);
+  }
+  const double factor =
+      drift_low + (drift_high - drift_low) * rng.uniform01();
+  return state.scale_utility(id, factor);
+}
+
+class WarmStartProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The tentpole property: after any delta sequence — including aggressive
+// drift and churn — every solve (whatever path it took) carries a passing
+// certificate, i.e. utility >= 0.828 * F_hat on the current instance.
+TEST_P(WarmStartProperty, EveryPathCertifiesAfterAnyDeltaSequence) {
+  support::Rng rng(GetParam());
+  InstanceState state = seeded_state(4 + rng.uniform_below(8), rng);
+  WarmStartSolver solver;
+  bool saw_warm = false;
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t deltas = 1 + rng.uniform_below(4);
+    for (std::size_t d = 0; d < deltas; ++d) {
+      (void)apply_random_delta(state, rng, 0.5, 2.0);
+    }
+    const ServiceSolveResult solved =
+        solver.solve(state, /*force_full=*/rng.uniform01() < 0.1);
+    expect_certified(state, solved,
+                     "seed " + std::to_string(GetParam()) + " round " +
+                         std::to_string(round) + " path " +
+                         solve_path_name(solved.path));
+    saw_warm = saw_warm || solved.path == SolvePath::kWarm;
+  }
+  EXPECT_TRUE(saw_warm) << "delta mix never exercised the warm path";
+}
+
+// Satellite: warm-start vs from-scratch parity. Over the same mild-drift
+// delta stream, both policies certify every solve and the sticky solver
+// never migrates more than the always-resolve solver.
+TEST_P(WarmStartProperty, StickyMigratesNoMoreThanResolve) {
+  support::Rng rng(GetParam() + 1000);
+  InstanceState sticky_state = seeded_state(8, rng);
+  // Mirror the state (same utilities, same ids) for the resolve policy.
+  InstanceState resolve_state(kServers, kCapacity);
+  for (const auto& [id, utility] : sticky_state.threads()) {
+    (void)resolve_state.add_thread(utility);
+  }
+  WarmStartSolver sticky;
+  WarmStartSolver resolve;
+  std::size_t sticky_migrations = 0;
+  std::size_t resolve_migrations = 0;
+  for (int round = 0; round < 25; ++round) {
+    // Same drift applied to both copies (ids line up by construction).
+    const std::size_t pick = rng.uniform_below(sticky_state.num_threads());
+    const ThreadId id = sticky_state.threads()[pick].first;
+    const double factor = 0.95 + 0.1 * rng.uniform01();
+    ASSERT_TRUE(sticky_state.scale_utility(id, factor));
+    ASSERT_TRUE(resolve_state.scale_utility(id, factor));
+
+    const ServiceSolveResult sticky_solved = sticky.solve(sticky_state);
+    const ServiceSolveResult resolve_solved =
+        resolve.solve(resolve_state, /*force_full=*/true);
+    sticky_migrations += sticky_solved.migrations;
+    resolve_migrations += resolve_solved.migrations;
+    expect_certified(sticky_state, sticky_solved, "sticky");
+    expect_certified(resolve_state, resolve_solved, "resolve");
+  }
+  EXPECT_LE(sticky_migrations, resolve_migrations)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WarmStartProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace aa::svc

@@ -1,0 +1,348 @@
+// aa_loadgen — load generator / correctness checker for aa_serve.
+//
+//   aa_loadgen --socket PATH [--requests N] [--connections K]
+//              [--threads-init T] [--solve-every S] [--capacity C]
+//              [--seed SEED] [--deadline-ms D] [--script FILE]
+//              [--shutdown 1] [--connect-timeout-ms MS]
+//
+// Replays a request stream against a running aa_serve and verifies every
+// reply. Default mode is randomized: each of K connections seeds the
+// service with T threads (Section VII generator utilities against
+// --capacity, which must match the server's), then issues its share of N
+// requests — a mix of update_utility (drift factor in [0.8, 1.25]),
+// add_thread, remove_thread, with a solve every S requests. --script FILE
+// replays the file's lines verbatim on one connection instead.
+//
+// Every reply must parse and carry ok=true, and every solve reply must
+// carry certificate_ok=true (the 0.828-approximation certificate); anything
+// else counts as a failure and the exit status is 1. On success prints
+// throughput and p50/p90/p99/max round-trip latency, the solve-path mix
+// observed, and the server's own stats line.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/instance_io.hpp"
+#include "support/args.hpp"
+#include "support/distributions.hpp"
+#include "support/json.hpp"
+#include "support/prng.hpp"
+#include "support/stats.hpp"
+#include "svc/channel.hpp"
+#include "utility/generator.hpp"
+
+namespace {
+
+using namespace aa;
+
+struct Options {
+  std::string socket_path;
+  std::size_t requests = 1000;
+  std::size_t connections = 1;
+  std::size_t threads_init = 8;
+  std::size_t solve_every = 8;
+  util::Resource capacity = 64;
+  std::uint64_t seed = 1;
+  double deadline_ms = 0.0;
+  std::string script_path;
+  bool send_shutdown = false;
+  int connect_timeout_ms = 5000;
+};
+
+struct Tally {
+  std::size_t sent = 0;
+  std::size_t failures = 0;
+  std::size_t solves = 0;
+  std::size_t solves_warm = 0;
+  std::size_t solves_full = 0;
+  std::size_t solves_cached = 0;
+  std::vector<double> latency_ms;
+  std::vector<std::string> failure_samples;  ///< First few, for stderr.
+
+  void merge(const Tally& other) {
+    sent += other.sent;
+    failures += other.failures;
+    solves += other.solves;
+    solves_warm += other.solves_warm;
+    solves_full += other.solves_full;
+    solves_cached += other.solves_cached;
+    latency_ms.insert(latency_ms.end(), other.latency_ms.begin(),
+                      other.latency_ms.end());
+    for (const std::string& sample : other.failure_samples) {
+      if (failure_samples.size() >= 5) break;
+      failure_samples.push_back(sample);
+    }
+  }
+};
+
+void record_failure(Tally& tally, const std::string& context) {
+  ++tally.failures;
+  if (tally.failure_samples.size() < 5) {
+    tally.failure_samples.push_back(context);
+  }
+}
+
+/// Sends one request line and validates the reply. Returns the parsed
+/// reply, or nullopt when the round trip or validation failed.
+std::optional<support::JsonValue> round_trip(svc::LineChannel& channel,
+                                             const std::string& line,
+                                             Tally& tally) {
+  ++tally.sent;
+  const auto start = std::chrono::steady_clock::now();
+  if (!channel.write_line(line)) {
+    record_failure(tally, "write failed: " + line);
+    return std::nullopt;
+  }
+  const std::optional<std::string> reply = channel.read_line();
+  if (!reply.has_value()) {
+    record_failure(tally, "connection closed awaiting reply to: " + line);
+    return std::nullopt;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  tally.latency_ms.push_back(
+      std::chrono::duration<double, std::milli>(elapsed).count());
+  support::JsonValue parsed;
+  try {
+    parsed = support::json_parse(*reply);
+    if (!parsed.at("ok").as_bool()) {
+      record_failure(tally, "error reply: " + *reply);
+      return std::nullopt;
+    }
+  } catch (const std::exception& error) {
+    record_failure(tally,
+                   std::string("unparseable reply (") + error.what() +
+                       "): " + *reply);
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+void check_solve_reply(const support::JsonValue& reply, Tally& tally) {
+  ++tally.solves;
+  try {
+    if (!reply.at("certificate_ok").as_bool()) {
+      record_failure(tally,
+                     "solve reply without passing certificate: " +
+                         reply.dump());
+      return;
+    }
+    const std::string& path = reply.at("path").as_string();
+    if (path == "warm") {
+      ++tally.solves_warm;
+    } else if (path == "cached") {
+      ++tally.solves_cached;
+    } else {
+      ++tally.solves_full;
+    }
+  } catch (const std::exception& error) {
+    record_failure(tally,
+                   std::string("malformed solve reply (") + error.what() +
+                       "): " + reply.dump());
+  }
+}
+
+std::string with_deadline(support::JsonValue request, double deadline_ms) {
+  if (deadline_ms > 0.0) request.set("deadline_ms", deadline_ms);
+  return request.dump();
+}
+
+/// One connection's randomized stream.
+Tally run_connection(const Options& options, std::size_t index,
+                     std::size_t request_count) {
+  Tally tally;
+  svc::FdHandle fd =
+      svc::connect_unix(options.socket_path, options.connect_timeout_ms);
+  svc::LineChannel channel(fd.get(), svc::kDefaultMaxLineBytes);
+  support::Rng rng(options.seed + 0x9e3779b9u * (index + 1));
+  support::DistributionParams dist;  // Section VII uniform H.
+  std::vector<std::int64_t> ids;
+
+  const auto send_add = [&] {
+    const util::UtilityPtr utility =
+        util::generate_utility(options.capacity, dist, rng);
+    support::JsonValue request;
+    request.set("op", "add_thread");
+    request.set("thread", io::utility_to_json(*utility));
+    const auto reply =
+        round_trip(channel, with_deadline(std::move(request),
+                                          options.deadline_ms),
+                   tally);
+    if (reply.has_value()) ids.push_back(reply->at("id").as_int());
+  };
+
+  for (std::size_t i = 0; i < options.threads_init; ++i) send_add();
+
+  for (std::size_t i = 0; i < request_count; ++i) {
+    if (options.solve_every > 0 && (i + 1) % options.solve_every == 0) {
+      support::JsonValue request;
+      request.set("op", "solve");
+      const auto reply =
+          round_trip(channel, with_deadline(std::move(request),
+                                            options.deadline_ms),
+                     tally);
+      if (reply.has_value()) check_solve_reply(*reply, tally);
+      continue;
+    }
+    const double dice = rng.uniform01();
+    if (ids.empty() || dice < 0.15) {
+      send_add();
+    } else if (dice < 0.25) {
+      const std::size_t pick = rng.uniform_below(ids.size());
+      support::JsonValue request;
+      request.set("op", "remove_thread");
+      request.set("id", ids[pick]);
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pick));
+      (void)round_trip(channel, with_deadline(std::move(request),
+                                              options.deadline_ms),
+                       tally);
+    } else {
+      const std::size_t pick = rng.uniform_below(ids.size());
+      support::JsonValue request;
+      request.set("op", "update_utility");
+      request.set("id", ids[pick]);
+      request.set("factor", 0.8 + 0.45 * rng.uniform01());
+      (void)round_trip(channel, with_deadline(std::move(request),
+                                              options.deadline_ms),
+                       tally);
+    }
+  }
+  return tally;
+}
+
+Tally run_script(const Options& options) {
+  Tally tally;
+  std::ifstream script(options.script_path);
+  if (!script) {
+    throw std::runtime_error("cannot open script " + options.script_path);
+  }
+  svc::FdHandle fd =
+      svc::connect_unix(options.socket_path, options.connect_timeout_ms);
+  svc::LineChannel channel(fd.get(), svc::kDefaultMaxLineBytes);
+  std::string line;
+  while (std::getline(script, line)) {
+    if (line.empty()) continue;
+    const auto reply = round_trip(channel, line, tally);
+    if (reply.has_value() && reply->find("certificate_ok") != nullptr) {
+      check_solve_reply(*reply, tally);
+    }
+  }
+  return tally;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const support::Args args(
+        argc, argv,
+        {"socket", "requests", "connections", "threads-init", "solve-every",
+         "capacity", "seed", "deadline-ms", "script", "shutdown",
+         "connect-timeout-ms"});
+    Options options;
+    options.socket_path = args.get("socket", "");
+    if (options.socket_path.empty() || !args.positional().empty()) {
+      std::cerr << "usage: aa_loadgen --socket PATH [--requests N] "
+                   "[--connections K] [--threads-init T] [--solve-every S] "
+                   "[--capacity C] [--seed SEED] [--deadline-ms D] "
+                   "[--script FILE] [--shutdown 1] [--connect-timeout-ms "
+                   "MS]\n";
+      return 2;
+    }
+    options.requests = static_cast<std::size_t>(args.get_int("requests", 1000));
+    options.connections =
+        static_cast<std::size_t>(args.get_int("connections", 1));
+    if (options.connections == 0) options.connections = 1;
+    options.threads_init =
+        static_cast<std::size_t>(args.get_int("threads-init", 8));
+    options.solve_every =
+        static_cast<std::size_t>(args.get_int("solve-every", 8));
+    options.capacity = static_cast<util::Resource>(args.get_int("capacity", 64));
+    options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    options.deadline_ms = args.get_double("deadline-ms", 0.0);
+    options.script_path = args.get("script", "");
+    options.send_shutdown = args.get_int("shutdown", 0) != 0;
+    options.connect_timeout_ms =
+        static_cast<int>(args.get_int("connect-timeout-ms", 5000));
+
+    Tally total;
+    const auto start = std::chrono::steady_clock::now();
+    if (!options.script_path.empty()) {
+      total = run_script(options);
+    } else {
+      std::mutex merge_mutex;
+      std::vector<std::thread> workers;
+      const std::size_t per_connection =
+          options.requests / options.connections;
+      const std::size_t remainder = options.requests % options.connections;
+      for (std::size_t k = 0; k < options.connections; ++k) {
+        const std::size_t share = per_connection + (k < remainder ? 1 : 0);
+        workers.emplace_back([&, k, share] {
+          Tally tally;
+          try {
+            tally = run_connection(options, k, share);
+          } catch (const std::exception& error) {
+            record_failure(tally, std::string("connection ") +
+                                      std::to_string(k) + ": " +
+                                      error.what());
+          }
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          total.merge(tally);
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
+    }
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    // Server-side view (and optional shutdown) on a fresh connection.
+    std::string server_stats;
+    try {
+      svc::FdHandle fd =
+          svc::connect_unix(options.socket_path, options.connect_timeout_ms);
+      svc::LineChannel channel(fd.get(), svc::kDefaultMaxLineBytes);
+      const auto stats = round_trip(channel, "{\"op\": \"stats\"}", total);
+      if (stats.has_value()) server_stats = stats->dump();
+      if (options.send_shutdown) {
+        (void)round_trip(channel, "{\"op\": \"shutdown\"}", total);
+      }
+    } catch (const std::exception& error) {
+      record_failure(total, std::string("stats connection: ") + error.what());
+    }
+
+    std::cout << "requests: " << total.sent << "  failures: "
+              << total.failures << "\n";
+    if (elapsed_s > 0.0) {
+      std::cout << "elapsed: " << elapsed_s << " s  throughput: "
+                << static_cast<double>(total.sent) / elapsed_s << " req/s\n";
+    }
+    if (!total.latency_ms.empty()) {
+      const double qs[] = {0.5, 0.9, 0.99, 1.0};
+      const std::vector<double> quantiles =
+          support::quantiles(total.latency_ms, qs);
+      std::cout << "latency ms: p50 " << quantiles[0] << "  p90 "
+                << quantiles[1] << "  p99 " << quantiles[2] << "  max "
+                << quantiles[3] << "\n";
+    }
+    std::cout << "solves: " << total.solves << " (warm " << total.solves_warm
+              << ", full " << total.solves_full << ", cached "
+              << total.solves_cached << "), all certified >= 0.828\n";
+    if (!server_stats.empty()) {
+      std::cout << "server stats: " << server_stats << "\n";
+    }
+    for (const std::string& sample : total.failure_samples) {
+      std::cerr << "aa_loadgen: failure: " << sample << "\n";
+    }
+    return total.failures == 0 ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << "aa_loadgen: " << error.what() << "\n";
+    return 1;
+  }
+}

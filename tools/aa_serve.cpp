@@ -1,0 +1,115 @@
+// aa_serve — long-running allocation service (docs/SERVICE.md).
+//
+//   aa_serve [--socket PATH] [--stdio 1]
+//            [--servers M] [--capacity C] [--workers W]
+//            [--batch-max B] [--batch-linger-ms L] [--deadline-ms D]
+//            [--max-queue Q] [--max-line-bytes N]
+//            [--hysteresis H] [--resolve-fraction F] [--resolve-min K]
+//            [--metrics FILE|-]
+//
+// Speaks line-delimited JSON (add_thread / remove_thread / update_utility /
+// solve / stats / shutdown) over a Unix domain socket at --socket, or over
+// stdin/stdout with --stdio 1 (also the default when no socket is given; the
+// mode tests and shell pipelines use). The process exits after a `shutdown`
+// request — or, in stdio mode, at EOF.
+//
+// Requests are batched (--batch-max / --batch-linger-ms) so delta bursts
+// coalesce into one re-solve; solves take the warm-start incremental path
+// with --hysteresis stickiness, falling back to full Algorithm 2 when more
+// than max(--resolve-min, --resolve-fraction * n) deltas accumulated. Every
+// solve reply carries its 0.828-approximation certificate verdict.
+//
+// --metrics writes the aa::obs blob (svc/* counters, solve timings, and the
+// per-solve certificates) to FILE, or stdout with "-", at exit.
+
+#include <csignal>
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "io/instance_io.hpp"
+#include "obs/session.hpp"
+#include "support/args.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace aa;
+
+svc::ServiceConfig config_from_args(const support::Args& args) {
+  svc::ServiceConfig config;
+  config.num_servers = static_cast<std::size_t>(args.get_int("servers", 2));
+  config.capacity =
+      static_cast<util::Resource>(args.get_int("capacity", 64));
+  config.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+  config.batch_max = static_cast<std::size_t>(args.get_int("batch-max", 64));
+  config.batch_linger_ms = args.get_double("batch-linger-ms", 0.0);
+  config.default_deadline_ms = args.get_double("deadline-ms", 0.0);
+  config.max_queue = static_cast<std::size_t>(args.get_int("max-queue", 4096));
+  config.warm.hysteresis = args.get_double("hysteresis", 0.05);
+  config.warm.resolve_delta_fraction =
+      args.get_double("resolve-fraction", 0.25);
+  config.warm.resolve_delta_min =
+      static_cast<std::size_t>(args.get_int("resolve-min", 8));
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const support::Args args(
+        argc, argv,
+        {"socket", "stdio", "servers", "capacity", "workers", "batch-max",
+         "batch-linger-ms", "deadline-ms", "max-queue", "max-line-bytes",
+         "hysteresis", "resolve-fraction", "resolve-min", "metrics"});
+    if (!args.positional().empty()) {
+      std::cerr << "usage: aa_serve [--socket PATH] [--stdio 1] "
+                   "[--servers M] [--capacity C] [--workers W] "
+                   "[--batch-max B] [--batch-linger-ms L] [--deadline-ms D] "
+                   "[--max-queue Q] [--max-line-bytes N] [--hysteresis H] "
+                   "[--resolve-fraction F] [--resolve-min K] "
+                   "[--metrics FILE|-]\n";
+      return 2;
+    }
+    // Belt and braces next to MSG_NOSIGNAL: a client vanishing mid-reply
+    // must never kill the server.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    const std::string socket_path = args.get("socket", "");
+    const bool stdio =
+        args.get_int("stdio", 0) != 0 || socket_path.empty();
+    const std::size_t max_line_bytes = static_cast<std::size_t>(
+        args.get_int("max-line-bytes",
+                     static_cast<long long>(svc::kDefaultMaxLineBytes)));
+
+    const std::string metrics_path = args.get("metrics", "");
+    std::unique_ptr<obs::Session> session;
+    if (!metrics_path.empty()) session = std::make_unique<obs::Session>();
+
+    svc::Service service(config_from_args(args));
+    service.start();
+    if (stdio) {
+      svc::serve_stdio(service, std::cin, std::cout, max_line_bytes);
+    } else {
+      svc::SocketServer server(service, socket_path, max_line_bytes);
+      server.run();
+    }
+    service.stop();
+
+    if (session != nullptr) {
+      const std::string blob = session->to_json().dump(2) + "\n";
+      if (metrics_path == "-") {
+        std::cout << blob;
+      } else {
+        io::write_file(metrics_path, blob);
+      }
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "aa_serve: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,6 +1,6 @@
 // aa_solve — solve an AA instance file and print the assignment.
 //
-//   aa_solve INSTANCE.json [--algorithm alg2|alg2raw|alg1|exact|bnb|
+//   aa_solve INSTANCE.json [--algorithm alg2|alg2raw|alg2h|alg1|exact|bnb|
 //                                       search|uu|ur|ru|rr]
 //            [--format json|text] [--seed S] [--out FILE] [--metrics FILE|-]
 //
@@ -89,7 +89,8 @@ int main(int argc, char** argv) {
                              {"algorithm", "format", "seed", "out", "metrics"});
     if (args.positional().size() != 1) {
       std::cerr << "usage: aa_solve INSTANCE.json [--algorithm alg2|alg2raw|"
-                   "alg1|exact|bnb|search|uu|ur|ru|rr] [--format json|text] "
+                   "alg2h|alg1|exact|bnb|search|uu|ur|ru|rr] "
+                   "[--format json|text] "
                    "[--seed S] [--out FILE] [--metrics FILE|-]\n";
       return 2;
     }
