@@ -6,6 +6,7 @@
 
 #include "aa/certify.hpp"
 #include "alloc/super_optimal.hpp"
+#include "obs/registry.hpp"
 #include "obs/session.hpp"
 
 namespace aa::core {
@@ -35,7 +36,7 @@ SolveResult package(const Instance& instance, Assignment assignment,
 
 Assignment assign_algorithm1(const Instance& instance,
                              std::span<const util::Linearized> linearized) {
-  const obs::ScopedPhase obs_phase("alg1/assign");
+  const obs::ScopedPhase obs_phase(obs::metric::kPhaseAlg1Assign);
   const std::size_t n = instance.num_threads();
   const std::size_t m = instance.num_servers;
   if (linearized.size() != n) {
@@ -102,21 +103,21 @@ Assignment assign_algorithm1(const Instance& instance,
     remaining[target] -= granted;
     assigned[chosen] = true;
   }
-  obs::count("alg1/full_picks", full_picks);
-  obs::count("alg1/unfull_picks", unfull_picks);
-  obs::count("alg1/pair_evaluations", pair_evaluations);
+  obs::count(obs::metric::kAlg1FullPicks, full_picks);
+  obs::count(obs::metric::kAlg1UnfullPicks, unfull_picks);
+  obs::count(obs::metric::kAlg1PairEvaluations, pair_evaluations);
   return out;
 }
 
 SolveResult solve_algorithm1(const Instance& instance) {
-  const obs::ScopedPhase obs_phase("alg1/solve");
-  obs::count("alg1/solves");
+  const obs::ScopedPhase obs_phase(obs::metric::kPhaseAlg1Solve);
+  obs::count(obs::metric::kAlg1Solves);
   instance.validate();
   alloc::SuperOptimalResult so = alloc::super_optimal(
       instance.threads, instance.num_servers, instance.capacity);
   std::vector<util::Linearized> linearized;
   {
-    const obs::ScopedPhase linearize_phase("linearize");
+    const obs::ScopedPhase linearize_phase(obs::metric::kPhaseLinearize);
     linearized = util::linearize(instance.threads, so.c_hat);
   }
   Assignment assignment = assign_algorithm1(instance, linearized);

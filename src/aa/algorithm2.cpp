@@ -8,6 +8,7 @@
 
 #include "aa/certify.hpp"
 #include "alloc/super_optimal.hpp"
+#include "obs/registry.hpp"
 #include "obs/session.hpp"
 
 namespace aa::core {
@@ -35,13 +36,13 @@ SolveResult package(const Instance& instance, Assignment assignment,
 Assignment assign_algorithm2_with_options(
     const Instance& instance, std::span<const util::Linearized> linearized,
     const Algorithm2Options& options) {
-  const obs::ScopedPhase obs_phase("alg2/assign");
+  const obs::ScopedPhase obs_phase(obs::metric::kPhaseAlg2Assign);
   const std::size_t n = instance.num_threads();
   const std::size_t m = instance.num_servers;
   if (linearized.size() != n) {
     throw std::invalid_argument("algorithm2: linearization size mismatch");
   }
-  obs::count("alg2/threads_assigned", static_cast<std::int64_t>(n));
+  obs::count(obs::metric::kAlg2ThreadsAssigned, static_cast<std::int64_t>(n));
 
   // Line 1: nonincreasing peak order (stable; ties keep thread index order).
   std::vector<std::size_t> order(n);
@@ -102,14 +103,14 @@ Assignment assign_algorithm2(const Instance& instance,
 }
 
 SolveResult solve_algorithm2(const Instance& instance) {
-  const obs::ScopedPhase obs_phase("alg2/solve");
-  obs::count("alg2/solves");
+  const obs::ScopedPhase obs_phase(obs::metric::kPhaseAlg2Solve);
+  obs::count(obs::metric::kAlg2Solves);
   instance.validate();
   alloc::SuperOptimalResult so = alloc::super_optimal(
       instance.threads, instance.num_servers, instance.capacity);
   std::vector<util::Linearized> linearized;
   {
-    const obs::ScopedPhase linearize_phase("linearize");
+    const obs::ScopedPhase linearize_phase(obs::metric::kPhaseLinearize);
     linearized = util::linearize(instance.threads, so.c_hat);
   }
   Assignment assignment = assign_algorithm2(instance, linearized);

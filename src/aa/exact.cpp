@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "alloc/allocator.hpp"
+#include "obs/registry.hpp"
 #include "obs/session.hpp"
 
 namespace aa::core {
@@ -79,15 +80,15 @@ class PartitionSearch {
 }  // namespace
 
 ExactResult solve_exact(const Instance& instance, std::size_t max_threads) {
-  const obs::ScopedPhase obs_phase("exact/solve");
-  obs::count("exact/solves");
+  const obs::ScopedPhase obs_phase(obs::metric::kPhaseExactSolve);
+  obs::count(obs::metric::kExactSolves);
   instance.validate();
   if (instance.num_threads() > max_threads) {
     throw std::invalid_argument(
         "solve_exact: instance too large for exhaustive search");
   }
   ExactResult result = PartitionSearch(instance).run();
-  obs::count("exact/partitions_explored",
+  obs::count(obs::metric::kExactPartitionsExplored,
              static_cast<std::int64_t>(result.partitions_explored));
   return result;
 }

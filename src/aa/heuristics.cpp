@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "obs/session.hpp"
 #include "support/distributions.hpp"
 
@@ -73,22 +74,22 @@ std::vector<std::size_t> random_servers(const Instance& instance,
 }  // namespace
 
 Assignment heuristic_uu(const Instance& instance) {
-  obs::count("heuristics/uu_solves");
+  obs::count(obs::metric::kHeuristicsUuSolves);
   return finish_uniform(instance, round_robin(instance));
 }
 
 Assignment heuristic_ur(const Instance& instance, support::Rng& rng) {
-  obs::count("heuristics/ur_solves");
+  obs::count(obs::metric::kHeuristicsUrSolves);
   return finish_random(instance, round_robin(instance), rng);
 }
 
 Assignment heuristic_ru(const Instance& instance, support::Rng& rng) {
-  obs::count("heuristics/ru_solves");
+  obs::count(obs::metric::kHeuristicsRuSolves);
   return finish_uniform(instance, random_servers(instance, rng));
 }
 
 Assignment heuristic_rr(const Instance& instance, support::Rng& rng) {
-  obs::count("heuristics/rr_solves");
+  obs::count(obs::metric::kHeuristicsRrSolves);
   return finish_random(instance, random_servers(instance, rng), rng);
 }
 

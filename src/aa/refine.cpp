@@ -7,13 +7,14 @@
 #include "aa/algorithm2.hpp"
 #include "aa/certify.hpp"
 #include "alloc/allocator.hpp"
+#include "obs/registry.hpp"
 #include "obs/session.hpp"
 
 namespace aa::core {
 
 Assignment reoptimize_allocations(const Instance& instance,
                                   const Assignment& placement) {
-  const obs::ScopedPhase obs_phase("refine/reoptimize");
+  const obs::ScopedPhase obs_phase(obs::metric::kPhaseRefineReoptimize);
   if (placement.server.size() != instance.num_threads() ||
       placement.alloc.size() != instance.num_threads()) {
     throw std::invalid_argument("reoptimize: assignment size mismatch");
@@ -36,7 +37,7 @@ Assignment reoptimize_allocations(const Instance& instance,
       out.alloc[group[k]] = static_cast<double>(result.amounts[k]);
     }
   }
-  obs::count("refine/servers_reoptimized", reoptimized);
+  obs::count(obs::metric::kRefineServersReoptimized, reoptimized);
   return out;
 }
 
@@ -44,7 +45,7 @@ namespace {
 
 SolveResult refined(const Instance& instance, SolveResult raw,
                     std::string_view solver) {
-  obs::count("refine/solves");
+  obs::count(obs::metric::kRefineSolves);
   Assignment better = reoptimize_allocations(instance, raw.assignment);
   const double better_utility = total_utility(instance, better);
   // Guaranteed non-decreasing, but guard against pathological float drift.
@@ -59,12 +60,12 @@ SolveResult refined(const Instance& instance, SolveResult raw,
 }  // namespace
 
 SolveResult solve_algorithm2_refined(const Instance& instance) {
-  const obs::ScopedPhase obs_phase("alg2/solve_refined");
+  const obs::ScopedPhase obs_phase(obs::metric::kPhaseAlg2SolveRefined);
   return refined(instance, solve_algorithm2(instance), "algorithm2_refined");
 }
 
 SolveResult solve_algorithm1_refined(const Instance& instance) {
-  const obs::ScopedPhase obs_phase("alg1/solve_refined");
+  const obs::ScopedPhase obs_phase(obs::metric::kPhaseAlg1SolveRefined);
   return refined(instance, solve_algorithm1(instance), "algorithm1_refined");
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/registry.hpp"
 #include "obs/session.hpp"
 
 namespace aa::alloc {
@@ -20,9 +21,9 @@ util::Resource pooled(std::size_t num_servers, util::Resource capacity) {
 SuperOptimalResult super_optimal(std::span<const util::UtilityPtr> threads,
                                  std::size_t num_servers,
                                  util::Resource capacity) {
-  const obs::ScopedPhase obs_phase("super_optimal");
-  obs::count("super_optimal/calls");
-  obs::count("super_optimal/threads",
+  const obs::ScopedPhase obs_phase(obs::metric::kPhaseSuperOptimal);
+  obs::count(obs::metric::kSuperOptimalCalls);
+  obs::count(obs::metric::kSuperOptimalThreads,
              static_cast<std::int64_t>(threads.size()));
   AllocationResult result =
       allocate_bisection(threads, pooled(num_servers, capacity), capacity);
@@ -32,9 +33,9 @@ SuperOptimalResult super_optimal(std::span<const util::UtilityPtr> threads,
 SuperOptimalResult super_optimal_greedy(
     std::span<const util::UtilityPtr> threads, std::size_t num_servers,
     util::Resource capacity) {
-  const obs::ScopedPhase obs_phase("super_optimal");
-  obs::count("super_optimal/calls");
-  obs::count("super_optimal/threads",
+  const obs::ScopedPhase obs_phase(obs::metric::kPhaseSuperOptimal);
+  obs::count(obs::metric::kSuperOptimalCalls);
+  obs::count(obs::metric::kSuperOptimalThreads,
              static_cast<std::int64_t>(threads.size()));
   AllocationResult result =
       allocate_greedy(threads, pooled(num_servers, capacity), capacity);

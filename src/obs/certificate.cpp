@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/registry.hpp"
 #include "obs/session.hpp"
 
 namespace aa::obs {
@@ -92,8 +93,8 @@ Certificate check_certificate(CertificateInput input, double rel_tol) {
 Certificate record_certificate(CertificateInput input, double rel_tol) {
   Certificate cert = check_certificate(std::move(input), rel_tol);
   if (Session* session = Session::current()) {
-    session->count("certificate/checks", 1);
-    if (!cert.ok()) session->count("certificate/failures", 1);
+    session->count(metric::kCertificateChecks, 1);
+    if (!cert.ok()) session->count(metric::kCertificateFailures, 1);
     session->add_certificate(cert);
   }
   return cert;

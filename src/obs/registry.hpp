@@ -1,0 +1,158 @@
+#pragma once
+
+// Metric-name registry: the single source of truth for every counter,
+// phase-timer, and sample name the observability layer records.
+//
+// Instrumentation sites must use these constants — `tools/aa_lint` (see
+// docs/STATIC_ANALYSIS.md) rejects string literals passed to obs::count /
+// obs::time_sample / obs::ScopedPhase anywhere under src/ or tools/, and
+// cross-checks this table against the metric tables in
+// docs/OBSERVABILITY.md in both directions: a name registered here but not
+// documented fails, and a documented name that no longer exists here (or
+// is never referenced from code) fails. To add a metric: declare the
+// constant in the right section below, add it to the matching kAll*
+// array, document it in docs/OBSERVABILITY.md, and use it.
+//
+// The `aa-lint-section:` comments are structural markers the linter keys
+// on; keep each constant inside the section that matches how it is
+// recorded (count → counters, ScopedPhase → timers, time_sample →
+// samples).
+
+#include <string_view>
+
+namespace aa::obs::metric {
+
+// aa-lint-section: counters
+// Deterministic for a deterministic solve — golden-testable.
+
+inline constexpr std::string_view kAlg1FullPicks = "alg1/full_picks";
+inline constexpr std::string_view kAlg1PairEvaluations =
+    "alg1/pair_evaluations";
+inline constexpr std::string_view kAlg1Solves = "alg1/solves";
+inline constexpr std::string_view kAlg1UnfullPicks = "alg1/unfull_picks";
+inline constexpr std::string_view kAlg2Solves = "alg2/solves";
+inline constexpr std::string_view kAlg2ThreadsAssigned =
+    "alg2/threads_assigned";
+inline constexpr std::string_view kCertificateChecks = "certificate/checks";
+inline constexpr std::string_view kCertificateFailures =
+    "certificate/failures";
+inline constexpr std::string_view kExactPartitionsExplored =
+    "exact/partitions_explored";
+inline constexpr std::string_view kExactSolves = "exact/solves";
+inline constexpr std::string_view kExperimentDegenerateTrials =
+    "experiment/degenerate_trials";
+inline constexpr std::string_view kExperimentTrials = "experiment/trials";
+inline constexpr std::string_view kHeuristicsRrSolves = "heuristics/rr_solves";
+inline constexpr std::string_view kHeuristicsRuSolves = "heuristics/ru_solves";
+inline constexpr std::string_view kHeuristicsUrSolves = "heuristics/ur_solves";
+inline constexpr std::string_view kHeuristicsUuSolves = "heuristics/uu_solves";
+inline constexpr std::string_view kObsCertificatesDropped =
+    "obs/certificates_dropped";
+inline constexpr std::string_view kObsTraceDropped = "obs/trace_dropped";
+inline constexpr std::string_view kRefineServersReoptimized =
+    "refine/servers_reoptimized";
+inline constexpr std::string_view kRefineSolves = "refine/solves";
+inline constexpr std::string_view kSuperOptimalCalls = "super_optimal/calls";
+inline constexpr std::string_view kSuperOptimalThreads =
+    "super_optimal/threads";
+inline constexpr std::string_view kSvcBatches = "svc/batches";
+inline constexpr std::string_view kSvcErrors = "svc/errors";
+inline constexpr std::string_view kSvcInternalErrors = "svc/internal_errors";
+inline constexpr std::string_view kSvcMigrations = "svc/migrations";
+inline constexpr std::string_view kSvcReplyFailures = "svc/reply_failures";
+inline constexpr std::string_view kSvcRequests = "svc/requests";
+inline constexpr std::string_view kSvcShutdowns = "svc/shutdowns";
+inline constexpr std::string_view kSvcSolveCached = "svc/solve_cached";
+inline constexpr std::string_view kSvcSolveFull = "svc/solve_full";
+inline constexpr std::string_view kSvcSolveWarm = "svc/solve_warm";
+inline constexpr std::string_view kSvcTimeouts = "svc/timeouts";
+inline constexpr std::string_view kSvcWarmCertificateRejects =
+    "svc/warm_certificate_rejects";
+
+inline constexpr std::string_view kAllCounters[] = {
+    kAlg1FullPicks,
+    kAlg1PairEvaluations,
+    kAlg1Solves,
+    kAlg1UnfullPicks,
+    kAlg2Solves,
+    kAlg2ThreadsAssigned,
+    kCertificateChecks,
+    kCertificateFailures,
+    kExactPartitionsExplored,
+    kExactSolves,
+    kExperimentDegenerateTrials,
+    kExperimentTrials,
+    kHeuristicsRrSolves,
+    kHeuristicsRuSolves,
+    kHeuristicsUrSolves,
+    kHeuristicsUuSolves,
+    kObsCertificatesDropped,
+    kObsTraceDropped,
+    kRefineServersReoptimized,
+    kRefineSolves,
+    kSuperOptimalCalls,
+    kSuperOptimalThreads,
+    kSvcBatches,
+    kSvcErrors,
+    kSvcInternalErrors,
+    kSvcMigrations,
+    kSvcReplyFailures,
+    kSvcRequests,
+    kSvcShutdowns,
+    kSvcSolveCached,
+    kSvcSolveFull,
+    kSvcSolveWarm,
+    kSvcTimeouts,
+    kSvcWarmCertificateRejects,
+};
+
+// aa-lint-section: timers
+// Phase names recorded by obs::ScopedPhase (wall + thread-CPU ms).
+
+inline constexpr std::string_view kPhaseAlg1Assign = "alg1/assign";
+inline constexpr std::string_view kPhaseAlg1Solve = "alg1/solve";
+inline constexpr std::string_view kPhaseAlg1SolveRefined =
+    "alg1/solve_refined";
+inline constexpr std::string_view kPhaseAlg2Assign = "alg2/assign";
+inline constexpr std::string_view kPhaseAlg2Solve = "alg2/solve";
+inline constexpr std::string_view kPhaseAlg2SolveRefined =
+    "alg2/solve_refined";
+inline constexpr std::string_view kPhaseExactSolve = "exact/solve";
+inline constexpr std::string_view kPhaseExperimentRunPoint =
+    "experiment/run_point";
+inline constexpr std::string_view kPhaseLinearize = "linearize";
+inline constexpr std::string_view kPhaseRefineReoptimize = "refine/reoptimize";
+inline constexpr std::string_view kPhaseSuperOptimal = "super_optimal";
+inline constexpr std::string_view kPhaseSvcSolve = "svc/solve";
+
+inline constexpr std::string_view kAllTimers[] = {
+    kPhaseAlg1Assign,
+    kPhaseAlg1Solve,
+    kPhaseAlg1SolveRefined,
+    kPhaseAlg2Assign,
+    kPhaseAlg2Solve,
+    kPhaseAlg2SolveRefined,
+    kPhaseExactSolve,
+    kPhaseExperimentRunPoint,
+    kPhaseLinearize,
+    kPhaseRefineReoptimize,
+    kPhaseSuperOptimal,
+    kPhaseSvcSolve,
+};
+
+// aa-lint-section: samples
+// Gauges and externally measured durations fed through obs::time_sample.
+
+inline constexpr std::string_view kSampleSvcBatchSize = "svc/batch_size";
+inline constexpr std::string_view kSampleSvcQueueDepth = "svc/queue_depth";
+inline constexpr std::string_view kSampleSvcRequest = "svc/request";
+
+inline constexpr std::string_view kAllSamples[] = {
+    kSampleSvcBatchSize,
+    kSampleSvcQueueDepth,
+    kSampleSvcRequest,
+};
+
+// aa-lint-section: end
+
+}  // namespace aa::obs::metric

@@ -4,6 +4,8 @@
 #include <ctime>
 #include <utility>
 
+#include "obs/registry.hpp"
+
 namespace aa::obs {
 
 namespace {
@@ -58,7 +60,7 @@ void Session::time(std::string_view name, double wall_ms, double cpu_ms) {
 void Session::add_trace(TraceEvent event) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (trace_.size() >= kMaxTraceEvents) {
-    metrics_.count("obs/trace_dropped", 1);
+    metrics_.count(metric::kObsTraceDropped, 1);
     return;
   }
   trace_.push_back(std::move(event));
@@ -67,7 +69,7 @@ void Session::add_trace(TraceEvent event) {
 void Session::add_certificate(Certificate certificate) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (certificates_.size() >= kMaxCertificates) {
-    metrics_.count("obs/certificates_dropped", 1);
+    metrics_.count(metric::kObsCertificatesDropped, 1);
     // The *last* certificate is what to_json flattens, so keep it fresh:
     // overwrite the final slot instead of dropping the newest.
     certificates_.back() = std::move(certificate);

@@ -5,13 +5,14 @@
 
 #include "aa/refine.hpp"
 #include "aa/heuristics.hpp"
+#include "obs/registry.hpp"
 #include "obs/session.hpp"
 
 namespace aa::sim {
 
 TrialUtilities run_trial(const WorkloadConfig& config, std::uint64_t base_seed,
                          std::uint64_t trial_index) {
-  obs::count("experiment/trials");
+  obs::count(obs::metric::kExperimentTrials);
   support::Rng rng = support::Rng::child(base_seed, trial_index);
   const core::Instance instance = generate_instance(config, rng);
 
@@ -28,7 +29,7 @@ TrialUtilities run_trial(const WorkloadConfig& config, std::uint64_t base_seed,
 
 RatioPoint run_point(const WorkloadConfig& config, std::size_t trials,
                      std::uint64_t base_seed, support::ThreadPool* pool) {
-  const obs::ScopedPhase obs_phase("experiment/run_point");
+  const obs::ScopedPhase obs_phase(obs::metric::kPhaseExperimentRunPoint);
   if (trials == 0) throw std::invalid_argument("run_point: zero trials");
   std::vector<TrialUtilities> results(trials);
   support::ThreadPool& workers = pool != nullptr ? *pool
@@ -45,7 +46,7 @@ RatioPoint run_point(const WorkloadConfig& config, std::size_t trials,
     // poorly, so we skip such degenerate trials entirely.
     if (r.super_optimal <= 0.0 || r.uu <= 0.0 || r.ur <= 0.0 ||
         r.ru <= 0.0 || r.rr <= 0.0) {
-      obs::count("experiment/degenerate_trials");
+      obs::count(obs::metric::kExperimentDegenerateTrials);
       continue;
     }
     point.ratio[kVsSuperOptimal].add(r.algorithm2 / r.super_optimal);

@@ -43,6 +43,7 @@ inline constexpr std::string_view kTimeout = "timeout";
 inline constexpr std::string_view kTooLarge = "too_large";
 inline constexpr std::string_view kOverflow = "overflow";
 inline constexpr std::string_view kShuttingDown = "shutting_down";
+inline constexpr std::string_view kInternal = "internal";
 }  // namespace error_code
 
 /// Request rejection with a stable error code; the transport turns these

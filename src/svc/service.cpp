@@ -4,6 +4,7 @@
 #include <array>
 #include <utility>
 
+#include "obs/registry.hpp"
 #include "obs/session.hpp"
 
 namespace aa::svc {
@@ -79,7 +80,7 @@ bool Service::shutdown_requested() const noexcept {
 
 void Service::submit_line(const std::string& line, ReplyFn reply) {
   const Clock::time_point now = Clock::now();
-  obs::count("svc/requests");
+  obs::count(obs::metric::kSvcRequests);
 
   Pending pending;
   pending.reply = std::move(reply);
@@ -99,7 +100,7 @@ void Service::submit_line(const std::string& line, ReplyFn reply) {
   } catch (const ProtocolError& error) {
     // Queued, not answered inline: the error reply must not overtake
     // replies to requests submitted before this line.
-    obs::count("svc/errors");
+    obs::count(obs::metric::kSvcErrors);
     pending.error_reply = make_error_reply(error.code(), error.what());
   }
 
@@ -149,7 +150,8 @@ void Service::submit_line(const std::string& line, ReplyFn reply) {
     }
     queue_peak_ = std::max(queue_peak_, depth);
   }
-  obs::time_sample("svc/queue_depth", static_cast<double>(depth));
+  obs::time_sample(obs::metric::kSampleSvcQueueDepth,
+                   static_cast<double>(depth));
 }
 
 std::string Service::request(const std::string& line) {
@@ -218,7 +220,7 @@ void Service::deliver_in_order(std::uint64_t seq,
       reply(text);
     } catch (...) {
       // A dead connection must not take the service down.
-      obs::count("svc/reply_failures");
+      obs::count(obs::metric::kSvcReplyFailures);
     }
   }
   delivered_seq_ = seq + 1;
@@ -232,13 +234,14 @@ void Service::record_latency(const Pending& pending, Clock::time_point now) {
     std::lock_guard stats(stats_mutex_);
     request_latency_ms_.add(wall_ms);
   }
-  obs::time_sample("svc/request", wall_ms);
+  obs::time_sample(obs::metric::kSampleSvcRequest, wall_ms);
 }
 
 std::vector<Service::Outgoing> Service::process_batch(
     std::vector<Pending> batch) {
-  obs::count("svc/batches");
-  obs::time_sample("svc/batch_size", static_cast<double>(batch.size()));
+  obs::count(obs::metric::kSvcBatches);
+  obs::time_sample(obs::metric::kSampleSvcBatchSize,
+                   static_cast<double>(batch.size()));
   {
     std::lock_guard stats(stats_mutex_);
     ++batches_;
@@ -268,7 +271,7 @@ std::vector<Service::Outgoing> Service::process_batch(
         reply = make_error_reply(error_code::kTimeout,
                                  "deadline expired before processing",
                                  op_name(request.op), request.tag);
-        obs::count("svc/timeouts");
+        obs::count(obs::metric::kSvcTimeouts);
         std::lock_guard stats(stats_mutex_);
         ++errors_total_;
         ++timeouts_;
@@ -331,16 +334,16 @@ std::vector<Service::Outgoing> Service::process_batch(
               stopping_ = true;
             }
             queue_cv_.notify_all();
-            obs::count("svc/shutdowns");
+            obs::count(obs::metric::kSvcShutdowns);
             reply = make_ok_reply(request.op, request.tag);
             break;
           }
         }
       }
     } catch (const std::exception& error) {
-      reply = make_error_reply("internal", error.what(), op_name(request.op),
-                               request.tag);
-      obs::count("svc/internal_errors");
+      reply = make_error_reply(error_code::kInternal, error.what(),
+                               op_name(request.op), request.tag);
+      obs::count(obs::metric::kSvcInternalErrors);
       std::lock_guard stats(stats_mutex_);
       ++errors_total_;
     }
@@ -367,11 +370,11 @@ std::vector<Service::Outgoing> Service::process_batch(
         out[slot].value = std::move(reply);
       }
     } catch (const std::exception& error) {
-      obs::count("svc/internal_errors");
+      obs::count(obs::metric::kSvcInternalErrors);
       for (const std::size_t slot : solve_slots) {
         out[slot].value =
-            make_error_reply("internal", error.what(), op_name(Op::kSolve),
-                             batch[slot].request.tag);
+            make_error_reply(error_code::kInternal, error.what(),
+                             op_name(Op::kSolve), batch[slot].request.tag);
         std::lock_guard stats(stats_mutex_);
         ++errors_total_;
       }

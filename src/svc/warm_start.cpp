@@ -10,6 +10,7 @@
 #include "aa/online.hpp"
 #include "aa/refine.hpp"
 #include "alloc/super_optimal.hpp"
+#include "obs/registry.hpp"
 #include "obs/session.hpp"
 #include "utility/linearized.hpp"
 
@@ -90,7 +91,6 @@ std::size_t WarmStartSolver::count_id_migrations(
 void WarmStartSolver::remember(const ServiceSolveResult& solved,
                                std::uint64_t version) {
   previous_server_.clear();
-  previous_server_.reserve(solved.ids.size());
   for (std::size_t i = 0; i < solved.ids.size(); ++i) {
     previous_server_.emplace(solved.ids[i], solved.result.assignment.server[i]);
   }
@@ -101,7 +101,7 @@ void WarmStartSolver::remember(const ServiceSolveResult& solved,
 
 ServiceSolveResult WarmStartSolver::solve(const InstanceState& state,
                                           bool force_full) {
-  obs::ScopedPhase phase("svc/solve");
+  obs::ScopedPhase phase(obs::metric::kPhaseSvcSolve);
   const std::uint64_t version = state.version();
 
   // Version unchanged: the previous answer (and certificate) still holds.
@@ -109,7 +109,7 @@ ServiceSolveResult WarmStartSolver::solve(const InstanceState& state,
     ServiceSolveResult cached = previous_;
     cached.path = SolvePath::kCached;
     cached.migrations = 0;
-    obs::count("svc/solve_cached");
+    obs::count(obs::metric::kSvcSolveCached);
     return cached;
   }
 
@@ -125,7 +125,7 @@ ServiceSolveResult WarmStartSolver::solve(const InstanceState& state,
     solved.certificate = core::certify(instance, solved.result,
                                        kFullSolverLabel, certify_options);
     remember(solved, version);
-    obs::count("svc/solve_full");
+    obs::count(obs::metric::kSvcSolveFull);
     return solved;
   }
 
@@ -141,7 +141,7 @@ ServiceSolveResult WarmStartSolver::solve(const InstanceState& state,
                                             solved.result.assignment);
     solved.certificate = core::certify(instance, solved.result,
                                        kFullSolverLabel, certify_options);
-    obs::count("svc/solve_full");
+    obs::count(obs::metric::kSvcSolveFull);
   } else {
     // Shared prefix of both candidates: the super-optimal allocation and
     // the two-segment linearization certify the *current* utilities.
@@ -218,7 +218,7 @@ ServiceSolveResult WarmStartSolver::solve(const InstanceState& state,
       solved.result = std::move(warm_result);
       solved.path = SolvePath::kWarm;
       solved.certificate = warm_certificate;
-      obs::count("svc/solve_warm");
+      obs::count(obs::metric::kSvcSolveWarm);
     } else {
       core::SolveResult fresh_result;
       fresh_result.assignment = std::move(fresh_refined);
@@ -230,8 +230,10 @@ ServiceSolveResult WarmStartSolver::solve(const InstanceState& state,
       solved.path = SolvePath::kFull;
       solved.certificate = core::certify(instance, solved.result,
                                          kFullSolverLabel, certify_options);
-      obs::count("svc/solve_full");
-      if (!warm_certificate.ok()) obs::count("svc/warm_certificate_rejects");
+      obs::count(obs::metric::kSvcSolveFull);
+      if (!warm_certificate.ok()) {
+        obs::count(obs::metric::kSvcWarmCertificateRejects);
+      }
     }
     solved.migrations = count_id_migrations(solved.ids,
                                             solved.result.assignment);
@@ -242,7 +244,7 @@ ServiceSolveResult WarmStartSolver::solve(const InstanceState& state,
   if (obs::Session::current() != nullptr) {
     obs::record_certificate(solved.certificate.input);
   }
-  obs::count("svc/migrations",
+  obs::count(obs::metric::kSvcMigrations,
              static_cast<std::int64_t>(solved.migrations));
   remember(solved, version);
   return solved;

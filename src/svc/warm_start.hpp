@@ -32,7 +32,7 @@
 // warm-start utility is never below alpha * F_hat.
 
 #include <cstddef>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "aa/problem.hpp"
@@ -88,7 +88,10 @@ class WarmStartSolver {
   WarmStartConfig config_;
   bool have_previous_ = false;
   std::uint64_t solved_version_ = 0;
-  std::unordered_map<ThreadId, std::size_t> previous_server_;
+  // Ordered map: iteration order must never depend on hash seeding in
+  // code that feeds placement decisions (aa_lint bans unordered
+  // containers here).
+  std::map<ThreadId, std::size_t> previous_server_;
   ServiceSolveResult previous_;  ///< Cached for version-unchanged solves.
 };
 

@@ -1,0 +1,3 @@
+// Fixture: exact comparison against a floating-point literal in solver
+// code is a determinism hazard.
+bool degenerate(double x) { return x == 1.0; }

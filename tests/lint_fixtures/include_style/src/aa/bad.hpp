@@ -1,0 +1,2 @@
+#include "../aa/sibling.hpp"
+#include "does/not/exist.hpp"

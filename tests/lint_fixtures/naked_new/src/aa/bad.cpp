@@ -1,0 +1,2 @@
+// Fixture: naked new in solver code.
+int* leak() { return new int(7); }

@@ -1,0 +1,2 @@
+// Fixture: rand() has global hidden state and unspecified sequences.
+int pick() { return rand() % 7; }

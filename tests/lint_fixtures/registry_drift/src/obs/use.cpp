@@ -1,0 +1,2 @@
+// Fixture: references the constant so only the doc drift is reported.
+auto used = metric::kFooBar;

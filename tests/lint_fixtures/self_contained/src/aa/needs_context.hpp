@@ -1,0 +1,3 @@
+#pragma once
+// Fixture: not self-contained — std::vector is used without <vector>.
+inline std::vector<int> broken() { return {}; }

@@ -1,0 +1,4 @@
+#pragma once
+// Fixture: the positive control — compiles on its own.
+#include <vector>
+inline std::vector<int> fine() { return {}; }

@@ -1,0 +1,9 @@
+#pragma once
+#include <string_view>
+
+namespace aa::svc {
+namespace error_code {
+inline constexpr std::string_view kTimeout = "timeout";
+inline constexpr std::string_view kGhost = "ghost";
+}  // namespace error_code
+}  // namespace aa::svc

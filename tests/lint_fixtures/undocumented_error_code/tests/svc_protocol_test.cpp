@@ -1,0 +1,2 @@
+// Fixture: only the timeout code is exercised.
+void f() { (void)error_code::kTimeout; }

@@ -1,0 +1,3 @@
+// Fixture: metric names at obs call sites must come from the registry
+// (src/obs/registry.hpp), never from string literals.
+void bad() { obs::count("typo/name"); }

@@ -1,0 +1,4 @@
+#pragma once
+#include <unordered_map>
+// Fixture: hash-seeded iteration order in warm-start state.
+inline std::unordered_map<int, int> previous_server;

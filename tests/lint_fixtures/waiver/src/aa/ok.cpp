@@ -1,0 +1,4 @@
+// Fixture: an explicit waiver suppresses the diagnostic on that line.
+bool exact_grid(double x) {
+  return x == 0.5;  // aa-lint: allow(determinism) grid values are exact
+}

@@ -192,5 +192,20 @@ TEST(ProtocolReplies, ErrorAndOkShapes) {
   EXPECT_EQ(ok.at("tag").as_string(), "s");
 }
 
+TEST(ProtocolReplies, StableErrorCodeStrings) {
+  // The wire strings are a contract (docs/SERVICE.md); renaming one is a
+  // protocol break. aa_lint cross-checks this table against the header and
+  // the docs, and this test pins the strings themselves.
+  EXPECT_EQ(error_code::kParseError, "parse_error");
+  EXPECT_EQ(error_code::kBadRequest, "bad_request");
+  EXPECT_EQ(error_code::kUnknownOp, "unknown_op");
+  EXPECT_EQ(error_code::kNotFound, "not_found");
+  EXPECT_EQ(error_code::kTimeout, "timeout");
+  EXPECT_EQ(error_code::kTooLarge, "too_large");
+  EXPECT_EQ(error_code::kOverflow, "overflow");
+  EXPECT_EQ(error_code::kShuttingDown, "shutting_down");
+  EXPECT_EQ(error_code::kInternal, "internal");
+}
+
 }  // namespace
 }  // namespace aa::svc
