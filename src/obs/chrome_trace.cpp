@@ -1,0 +1,81 @@
+#include "obs/chrome_trace.hpp"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace aa::obs {
+
+namespace {
+
+constexpr int kPid = 1;  ///< Single-process trace; any fixed id works.
+
+support::JsonValue event_json(const TraceEvent& event) {
+  support::JsonValue entry{support::JsonValue::Object{}};
+  entry.set("name", event.name);
+  entry.set("cat", "aa");
+  entry.set("pid", kPid);
+  entry.set("tid", event.tid);
+  entry.set("ts", event.at_ms * 1e3);
+  switch (event.kind) {
+    case TraceEvent::Kind::kEnter:
+      entry.set("ph", "B");
+      break;
+    case TraceEvent::Kind::kExit: {
+      entry.set("ph", "E");
+      support::JsonValue args{support::JsonValue::Object{}};
+      args.set("wall_ms", event.wall_ms);
+      args.set("cpu_ms", event.cpu_ms);
+      entry.set("args", std::move(args));
+      break;
+    }
+    case TraceEvent::Kind::kInstant:
+      entry.set("ph", "i");
+      entry.set("s", "t");  // thread-scoped instant
+      break;
+    case TraceEvent::Kind::kComplete:
+      entry.set("ph", "X");
+      entry.set("dur", event.wall_ms * 1e3);
+      break;
+  }
+  return entry;
+}
+
+support::JsonValue thread_name_json(int tid) {
+  support::JsonValue entry{support::JsonValue::Object{}};
+  entry.set("name", "thread_name");
+  entry.set("ph", "M");
+  entry.set("pid", kPid);
+  entry.set("tid", tid);
+  support::JsonValue args{support::JsonValue::Object{}};
+  args.set("name", "ring-" + std::to_string(tid));
+  entry.set("args", std::move(args));
+  return entry;
+}
+
+}  // namespace
+
+support::JsonValue export_chrome_trace(const Session& session) {
+  const std::vector<TraceEvent> events = session.trace();
+  support::JsonValue::Array trace_events;
+  trace_events.reserve(events.size() + 4);
+  std::set<int> tids;
+  for (const TraceEvent& event : events) tids.insert(event.tid);
+  for (const int tid : tids) trace_events.push_back(thread_name_json(tid));
+  for (const TraceEvent& event : events) {
+    trace_events.push_back(event_json(event));
+  }
+  support::JsonValue out{support::JsonValue::Object{}};
+  out.set("traceEvents", support::JsonValue(std::move(trace_events)));
+  out.set("displayTimeUnit", "ms");
+  support::JsonValue other{support::JsonValue::Object{}};
+  other.set("source", "aa::obs");
+  out.set("otherData", std::move(other));
+  return out;
+}
+
+std::string chrome_trace_json(const Session& session) {
+  return export_chrome_trace(session).dump(2);
+}
+
+}  // namespace aa::obs

@@ -1,0 +1,27 @@
+#pragma once
+
+// Chrome trace_event / Perfetto exporter for a Session's merged trace.
+//
+// Produces the classic JSON object format — {"traceEvents": [...]} with
+// B/E duration pairs, "i" instants and "X" complete spans, timestamps in
+// microseconds — which chrome://tracing and https://ui.perfetto.dev load
+// directly. Ring ordinals become Perfetto track (tid) numbers, with
+// thread_name metadata records so tracks read "ring-0", "ring-1", ... in
+// the UI. `aa_serve --trace-out <file>` writes this document at shutdown.
+
+#include <string>
+
+#include "obs/session.hpp"
+#include "support/json.hpp"
+
+namespace aa::obs {
+
+/// Trace-event JSON document for everything `session` has recorded so far.
+/// Phases still open at snapshot time appear as unmatched "B" events,
+/// which the viewers tolerate (rendered to the end of the trace).
+[[nodiscard]] support::JsonValue export_chrome_trace(const Session& session);
+
+/// export_chrome_trace rendered to a string (the --trace-out file body).
+[[nodiscard]] std::string chrome_trace_json(const Session& session);
+
+}  // namespace aa::obs

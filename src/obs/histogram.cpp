@@ -1,0 +1,123 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aa::obs {
+
+namespace {
+
+/// Lower bound of bucket `b`: 0 for the first bucket, else upper(b - 1).
+double bucket_lower(std::size_t b) noexcept {
+  return b == 0 ? 0.0 : Histogram::bucket_upper(b - 1);
+}
+
+}  // namespace
+
+double Histogram::bucket_upper(std::size_t b) noexcept {
+  return kMinUpper * std::ldexp(1.0, static_cast<int>(b));
+}
+
+std::size_t Histogram::bucket_index(double value) noexcept {
+  if (value <= kMinUpper) return 0;
+  // Saturate before dividing: value / kMinUpper overflows to infinity for
+  // values near DBL_MAX (kMinUpper < 1), and frexp(inf) leaves the
+  // exponent unspecified.
+  if (value > bucket_upper(kNumBuckets - 1)) return kNumBuckets - 1;
+  // frexp(v / kMinUpper) = m * 2^e with m in [0.5, 1): v <= kMinUpper*2^e,
+  // and e-1 fails unless v is an exact power-of-two boundary (m == 0.5),
+  // which belongs in the lower bucket (upper bounds are inclusive).
+  int exponent = 0;
+  const double mantissa = std::frexp(value / kMinUpper, &exponent);
+  std::size_t index = static_cast<std::size_t>(exponent);
+  if (mantissa == 0.5) --index;
+  return std::min(index, kNumBuckets - 1);
+}
+
+bool Histogram::sample(double value) noexcept {
+  if (!std::isfinite(value) || value < 0.0) return false;
+  ++buckets_[bucket_index(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  return true;
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th order statistic (type-7 style position, truncated to
+  // a whole sample so the bucket walk is exact).
+  const double position = q * static_cast<double>(count_ - 1);
+  const auto rank = static_cast<std::uint64_t>(position);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const std::uint64_t next = cumulative + buckets_[b];
+    if (rank < next) {
+      // Interpolate linearly across the bucket by rank position.
+      const double within =
+          (static_cast<double>(rank - cumulative) + 0.5) /
+          static_cast<double>(buckets_[b]);
+      const double lower = bucket_lower(b);
+      const double upper = bucket_upper(b);
+      const double estimate = lower + within * (upper - lower);
+      return std::clamp(estimate, min_, max_);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+std::vector<double> Histogram::quantiles(std::span<const double> qs) const {
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) out.push_back(quantile(q));
+  return out;
+}
+
+support::JsonValue Histogram::to_json() const {
+  support::JsonValue node{support::JsonValue::Object{}};
+  node.set("count", count_);
+  node.set("sum", sum_);
+  node.set("min", min());
+  node.set("max", max());
+  node.set("p50", quantile(0.50));
+  node.set("p90", quantile(0.90));
+  node.set("p99", quantile(0.99));
+  node.set("p999", quantile(0.999));
+  support::JsonValue::Array buckets;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    support::JsonValue entry{support::JsonValue::Object{}};
+    entry.set("le", bucket_upper(b));
+    entry.set("count", buckets_[b]);
+    buckets.push_back(std::move(entry));
+  }
+  node.set("buckets", support::JsonValue(std::move(buckets)));
+  return node;
+}
+
+}  // namespace aa::obs

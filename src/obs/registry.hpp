@@ -15,8 +15,8 @@
 //
 // The `aa-lint-section:` comments are structural markers the linter keys
 // on; keep each constant inside the section that matches how it is
-// recorded (count → counters, ScopedPhase → timers, time_sample →
-// samples).
+// recorded (count → counters, ScopedPhase / time_sample → timers,
+// sample → samples, instant / span_ending_now → events).
 
 #include <string_view>
 
@@ -48,6 +48,8 @@ inline constexpr std::string_view kHeuristicsUrSolves = "heuristics/ur_solves";
 inline constexpr std::string_view kHeuristicsUuSolves = "heuristics/uu_solves";
 inline constexpr std::string_view kObsCertificatesDropped =
     "obs/certificates_dropped";
+inline constexpr std::string_view kObsHistogramDropped =
+    "obs/histogram_dropped";
 inline constexpr std::string_view kObsTraceDropped = "obs/trace_dropped";
 inline constexpr std::string_view kRefineServersReoptimized =
     "refine/servers_reoptimized";
@@ -87,6 +89,7 @@ inline constexpr std::string_view kAllCounters[] = {
     kHeuristicsUrSolves,
     kHeuristicsUuSolves,
     kObsCertificatesDropped,
+    kObsHistogramDropped,
     kObsTraceDropped,
     kRefineServersReoptimized,
     kRefineSolves,
@@ -123,6 +126,7 @@ inline constexpr std::string_view kPhaseExperimentRunPoint =
 inline constexpr std::string_view kPhaseLinearize = "linearize";
 inline constexpr std::string_view kPhaseRefineReoptimize = "refine/reoptimize";
 inline constexpr std::string_view kPhaseSuperOptimal = "super_optimal";
+inline constexpr std::string_view kPhaseSvcBatch = "svc/batch";
 inline constexpr std::string_view kPhaseSvcSolve = "svc/solve";
 
 inline constexpr std::string_view kAllTimers[] = {
@@ -137,11 +141,13 @@ inline constexpr std::string_view kAllTimers[] = {
     kPhaseLinearize,
     kPhaseRefineReoptimize,
     kPhaseSuperOptimal,
+    kPhaseSvcBatch,
     kPhaseSvcSolve,
 };
 
 // aa-lint-section: samples
-// Gauges and externally measured durations fed through obs::time_sample.
+// Histogram-sampled gauges and durations fed through obs::sample
+// (log2-bucketed, quantile readout — see obs/histogram.hpp).
 
 inline constexpr std::string_view kSampleSvcBatchSize = "svc/batch_size";
 inline constexpr std::string_view kSampleSvcQueueDepth = "svc/queue_depth";
@@ -151,6 +157,22 @@ inline constexpr std::string_view kAllSamples[] = {
     kSampleSvcBatchSize,
     kSampleSvcQueueDepth,
     kSampleSvcRequest,
+};
+
+// aa-lint-section: events
+// Point marks and externally measured spans recorded straight onto the
+// calling thread's trace ring via obs::instant / obs::span_ending_now.
+
+inline constexpr std::string_view kEventSvcPathCached = "svc/path_cached";
+inline constexpr std::string_view kEventSvcPathFull = "svc/path_full";
+inline constexpr std::string_view kEventSvcPathWarm = "svc/path_warm";
+inline constexpr std::string_view kEventSvcQueueWait = "svc/queue_wait";
+
+inline constexpr std::string_view kAllEvents[] = {
+    kEventSvcPathCached,
+    kEventSvcPathFull,
+    kEventSvcPathWarm,
+    kEventSvcQueueWait,
 };
 
 // aa-lint-section: end

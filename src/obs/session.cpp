@@ -1,5 +1,6 @@
 #include "obs/session.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <ctime>
 #include <utility>
@@ -12,9 +13,23 @@ namespace {
 
 std::atomic<Session*> g_current{nullptr};
 
+/// Session ids are process-unique and never reused, so a thread-local ring
+/// pointer tagged with the id it was issued under can never dangle into a
+/// *different* session that happens to occupy the same address.
+std::atomic<std::uint64_t> g_next_session_id{1};
+
 /// Per-thread phase nesting depth. Each worker starts at 0; strictly nested
 /// ScopedPhase scopes keep it balanced.
 thread_local int g_depth = 0;
+
+/// The calling thread's ring cache: valid only while the installed session's
+/// id matches. A stale id (session destroyed, or a nested one installed)
+/// simply re-registers on the next event.
+struct RingCache {
+  std::uint64_t session_id = 0;
+  TraceRing* ring = nullptr;
+};
+thread_local RingCache g_ring_cache;
 
 double wall_ms_between(std::chrono::steady_clock::time_point from,
                        std::chrono::steady_clock::time_point to) noexcept {
@@ -35,7 +50,9 @@ double thread_cpu_ms() noexcept {
          static_cast<double>(CLOCKS_PER_SEC);
 }
 
-Session::Session() : start_(std::chrono::steady_clock::now()) {
+Session::Session()
+    : id_(g_next_session_id.fetch_add(1, std::memory_order_relaxed)),
+      start_(std::chrono::steady_clock::now()) {
   previous_ = g_current.exchange(this, std::memory_order_acq_rel);
 }
 
@@ -57,13 +74,26 @@ void Session::time(std::string_view name, double wall_ms, double cpu_ms) {
   metrics_.time(name, wall_ms, cpu_ms);
 }
 
-void Session::add_trace(TraceEvent event) {
+void Session::sample(std::string_view name, double value) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (trace_.size() >= kMaxTraceEvents) {
-    metrics_.count(metric::kObsTraceDropped, 1);
-    return;
+  if (!metrics_.sample(name, value)) {
+    metrics_.count(metric::kObsHistogramDropped, 1);
   }
-  trace_.push_back(std::move(event));
+}
+
+TraceRing* Session::thread_ring() {
+  if (g_ring_cache.session_id != id_) {
+    const std::lock_guard<std::mutex> lock(rings_mutex_);
+    const int tid = static_cast<int>(rings_.size());
+    rings_.push_back(std::make_unique<TraceRing>(tid, kMaxTraceEvents));
+    g_ring_cache.ring = rings_.back().get();
+    g_ring_cache.session_id = id_;
+  }
+  return g_ring_cache.ring;
+}
+
+void Session::add_trace(TraceEvent event) {
+  thread_ring()->push(std::move(event));
 }
 
 void Session::add_certificate(Certificate certificate) {
@@ -83,13 +113,58 @@ double Session::elapsed_ms() const noexcept {
 }
 
 Metrics Session::metrics() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return metrics_;
+  Metrics snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = metrics_;
+  }
+  std::int64_t trace_dropped = 0;
+  for (const TraceRingInfo& info : trace_rings()) {
+    trace_dropped += info.dropped;
+  }
+  // Only materialize the counter when something actually dropped, so the
+  // deterministic counter blob stays byte-stable for clean runs.
+  if (trace_dropped > 0) {
+    snapshot.count(metric::kObsTraceDropped, trace_dropped);
+  }
+  return snapshot;
 }
 
 std::vector<TraceEvent> Session::trace() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return trace_;
+  std::vector<const TraceRing*> rings;
+  {
+    const std::lock_guard<std::mutex> lock(rings_mutex_);
+    rings.reserve(rings_.size());
+    for (const auto& ring : rings_) rings.push_back(ring.get());
+  }
+  std::vector<TraceEvent> merged;
+  for (const TraceRing* ring : rings) {
+    std::vector<TraceEvent> events = ring->snapshot();
+    merged.insert(merged.end(), std::make_move_iterator(events.begin()),
+                  std::make_move_iterator(events.end()));
+  }
+  // Per-ring order is already chronological; a stable sort across rings
+  // preserves each thread's enter/exit nesting for equal timestamps.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+  return merged;
+}
+
+std::vector<TraceRingInfo> Session::trace_rings() const {
+  std::vector<const TraceRing*> rings;
+  {
+    const std::lock_guard<std::mutex> lock(rings_mutex_);
+    rings.reserve(rings_.size());
+    for (const auto& ring : rings_) rings.push_back(ring.get());
+  }
+  std::vector<TraceRingInfo> infos;
+  infos.reserve(rings.size());
+  for (const TraceRing* ring : rings) {
+    infos.push_back(TraceRingInfo{ring->tid(), ring->size(), ring->dropped()});
+  }
+  return infos;
 }
 
 std::vector<Certificate> Session::certificates() const {
@@ -97,11 +172,30 @@ std::vector<Certificate> Session::certificates() const {
   return certificates_;
 }
 
+namespace {
+
+const char* kind_name(TraceEvent::Kind kind) noexcept {
+  switch (kind) {
+    case TraceEvent::Kind::kEnter:
+      return "enter";
+    case TraceEvent::Kind::kExit:
+      return "exit";
+    case TraceEvent::Kind::kInstant:
+      return "instant";
+    case TraceEvent::Kind::kComplete:
+      return "complete";
+  }
+  return "enter";
+}
+
+}  // namespace
+
 support::JsonValue Session::to_json(bool include_timings) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const Metrics metrics_snapshot = metrics();
+  const std::vector<Certificate> certificates_snapshot = certificates();
   support::JsonValue out{support::JsonValue::Object{}};
-  if (!certificates_.empty()) {
-    const Certificate& last = certificates_.back();
+  if (!certificates_snapshot.empty()) {
+    const Certificate& last = certificates_snapshot.back();
     out.set("solver", last.input.solver);
     out.set("f_alg", last.input.f_alg);
     out.set("f_linearized", last.input.f_linearized);
@@ -110,35 +204,61 @@ support::JsonValue Session::to_json(bool include_timings) const {
     out.set("achieved_ratio", last.achieved_ratio);
     out.set("certificate_ok", last.ok());
   }
-  out.set("counters", metrics_.counters_json());
+  out.set("counters", metrics_snapshot.counters_json());
   if (include_timings) {
-    out.set("timers", metrics_.timers_json());
+    out.set("timers", metrics_snapshot.timers_json());
+    out.set("histograms", metrics_snapshot.histograms_json());
     support::JsonValue::Array trace;
-    trace.reserve(trace_.size());
-    for (const TraceEvent& event : trace_) {
+    const std::vector<TraceEvent> events = this->trace();
+    trace.reserve(events.size());
+    for (const TraceEvent& event : events) {
       support::JsonValue entry{support::JsonValue::Object{}};
-      entry.set("kind",
-                event.kind == TraceEvent::Kind::kEnter ? "enter" : "exit");
+      entry.set("kind", kind_name(event.kind));
       entry.set("name", event.name);
+      entry.set("tid", event.tid);
       entry.set("depth", event.depth);
       entry.set("at_ms", event.at_ms);
-      if (event.kind == TraceEvent::Kind::kExit) {
+      if (event.kind == TraceEvent::Kind::kExit ||
+          event.kind == TraceEvent::Kind::kComplete) {
         entry.set("wall_ms", event.wall_ms);
+      }
+      if (event.kind == TraceEvent::Kind::kExit) {
         entry.set("cpu_ms", event.cpu_ms);
       }
       trace.push_back(std::move(entry));
     }
     out.set("trace", support::JsonValue(std::move(trace)));
   }
-  if (!certificates_.empty()) {
+  if (!certificates_snapshot.empty()) {
     support::JsonValue::Array list;
-    list.reserve(certificates_.size());
-    for (const Certificate& certificate : certificates_) {
+    list.reserve(certificates_snapshot.size());
+    for (const Certificate& certificate : certificates_snapshot) {
       list.push_back(certificate.to_json());
     }
     out.set("certificates", support::JsonValue(std::move(list)));
   }
   return out;
+}
+
+void instant([[maybe_unused]] std::string_view name) {
+#if AA_OBS_ENABLED
+  if (Session* session = Session::current()) {
+    session->add_trace({TraceEvent::Kind::kInstant, std::string(name), g_depth,
+                        session->elapsed_ms(), 0.0, 0.0, 0});
+  }
+#endif
+}
+
+void span_ending_now([[maybe_unused]] std::string_view name,
+                     [[maybe_unused]] double wall_ms) {
+#if AA_OBS_ENABLED
+  if (Session* session = Session::current()) {
+    const double duration = std::max(wall_ms, 0.0);
+    const double start = std::max(session->elapsed_ms() - duration, 0.0);
+    session->add_trace({TraceEvent::Kind::kComplete, std::string(name),
+                        g_depth, start, duration, 0.0, 0});
+  }
+#endif
 }
 
 ScopedPhase::ScopedPhase([[maybe_unused]] std::string_view name)
@@ -153,7 +273,7 @@ ScopedPhase::ScopedPhase([[maybe_unused]] std::string_view name)
   wall_start_ = std::chrono::steady_clock::now();
   cpu_start_ms_ = thread_cpu_ms();
   session_->add_trace({TraceEvent::Kind::kEnter, name_, depth_,
-                       session_->elapsed_ms(), 0.0, 0.0});
+                       session_->elapsed_ms(), 0.0, 0.0, 0});
 #endif
 }
 
@@ -166,7 +286,7 @@ ScopedPhase::~ScopedPhase() {
   const double cpu = thread_cpu_ms() - cpu_start_ms_;
   session_->time(name_, wall, cpu);
   session_->add_trace({TraceEvent::Kind::kExit, name_, depth_,
-                       session_->elapsed_ms(), wall, cpu});
+                       session_->elapsed_ms(), wall, cpu, 0});
 #endif
 }
 

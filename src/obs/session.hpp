@@ -3,18 +3,27 @@
 // Observability session: the thread-safe collector behind aa::obs.
 //
 // Instrumentation in the solver libraries is written against the free
-// functions below (obs::count) and the RAII ScopedPhase. Both resolve the
-// *installed* session at call time:
+// functions below (obs::count, obs::sample, obs::instant, ...) and the
+// RAII ScopedPhase. All resolve the *installed* session at call time:
 //
 //   - no session installed  -> every call is a cheap no-op (one relaxed
 //     atomic load), so the default build pays nothing for instrumentation;
-//   - a Session object alive -> counters, timer stats, trace events and
-//     approximation certificates accumulate on it, behind a mutex, so
+//   - a Session object alive -> counters, timer stats, histograms, trace
+//     events and approximation certificates accumulate on it, so
 //     ThreadPool workers may record concurrently.
 //
 // Compiling with AA_OBS_ENABLED=0 (CMake -DAA_OBS=OFF) removes even the
 // atomic load: the inline entry points compile to literal no-ops and
 // ScopedPhase becomes an empty object.
+//
+// Counters, timers and histograms live in one Metrics bag behind a mutex.
+// Trace events do NOT go through that mutex: each recording thread gets
+// its own fixed-capacity TraceRing (trace_ring.hpp), registered with the
+// session on the thread's first event and drained only at snapshot /
+// teardown time, so phase tracing never contends with the metrics hot
+// path or with other tracing threads. trace() merges the rings by
+// timestamp; export_chrome_trace (chrome_trace.hpp) turns the merged
+// stream into a Perfetto-loadable Chrome trace_event JSON document.
 //
 // Sessions nest: constructing a Session installs it and remembers the
 // previous one; destruction restores it. Install/uninstall must happen on
@@ -22,13 +31,17 @@
 // create the Session in main() around the whole run). A Session must
 // outlive any ScopedPhase that started under it.
 //
-// Unbounded collections are capped (kMaxTraceEvents / kMaxCertificates):
-// beyond the cap, events and certificates are dropped but *counted* under
-// obs/trace_dropped and obs/certificates_dropped, so truncation is never
-// silent. Counters and timers aggregate and never grow with run length.
+// Unbounded collections are capped (kMaxTraceEvents per ring /
+// kMaxCertificates): beyond the cap, events and certificates are dropped
+// but *counted* — per ring and aggregated under obs/trace_dropped, and
+// under obs/certificates_dropped — so truncation is never silent.
+// Histogram samples that cannot be recorded (negative / non-finite) are
+// counted under obs/histogram_dropped. Counters, timers and histograms
+// aggregate and never grow with run length.
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -36,6 +49,7 @@
 
 #include "obs/certificate.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_ring.hpp"
 #include "support/json.hpp"
 
 #ifndef AA_OBS_ENABLED
@@ -44,20 +58,9 @@
 
 namespace aa::obs {
 
-/// One phase-boundary record. Enter events carry only the timestamp; exit
-/// events additionally carry the phase's wall/CPU durations.
-struct TraceEvent {
-  enum class Kind : std::uint8_t { kEnter, kExit };
-  Kind kind = Kind::kEnter;
-  std::string name;
-  int depth = 0;       ///< Nesting depth on the recording thread (0 = top).
-  double at_ms = 0.0;  ///< Wall offset from session start.
-  double wall_ms = 0.0;  ///< Exit only: phase wall duration.
-  double cpu_ms = 0.0;   ///< Exit only: phase thread-CPU duration.
-};
-
 class Session {
  public:
+  /// Per-ring trace capacity (one ring per recording thread).
   static constexpr std::size_t kMaxTraceEvents = 4096;
   static constexpr std::size_t kMaxCertificates = 256;
 
@@ -74,30 +77,48 @@ class Session {
 
   void count(std::string_view name, std::int64_t delta = 1);
   void time(std::string_view name, double wall_ms, double cpu_ms);
+  /// Histogram sample; unrecordable values bump obs/histogram_dropped.
+  void sample(std::string_view name, double value);
+  /// Appends to the calling thread's trace ring (registering one on first
+  /// use); ring-full drops are counted per ring and surface aggregated
+  /// under obs/trace_dropped in metrics().
   void add_trace(TraceEvent event);
   void add_certificate(Certificate certificate);
 
   /// Milliseconds since the session was constructed.
   [[nodiscard]] double elapsed_ms() const noexcept;
 
-  /// Snapshots (copies, taken under the lock).
+  /// Counter/timer/histogram snapshot. Trace-ring drops (if any) are
+  /// folded into the obs/trace_dropped counter of the returned copy.
   [[nodiscard]] Metrics metrics() const;
+  /// All rings merged, ordered by at_ms (stable within a ring).
   [[nodiscard]] std::vector<TraceEvent> trace() const;
+  /// Per-ring occupancy and drop counts, in registration (tid) order.
+  [[nodiscard]] std::vector<TraceRingInfo> trace_rings() const;
   [[nodiscard]] std::vector<Certificate> certificates() const;
 
-  /// Full export: counters, (optionally) timers + trace, the certificate
-  /// list, and — when at least one certificate was recorded — the last
-  /// certificate's fields flattened at top level (f_alg, f_super_optimal,
-  /// f_linearized, alpha, achieved_ratio, certificate_ok), which is the
-  /// blob `aa_solve --metrics` and the benches emit.
+  /// Full export: counters, (optionally) timers + histograms + trace, the
+  /// certificate list, and — when at least one certificate was recorded —
+  /// the last certificate's fields flattened at top level (f_alg,
+  /// f_super_optimal, f_linearized, alpha, achieved_ratio,
+  /// certificate_ok), which is the blob `aa_solve --metrics` and the
+  /// benches emit.
   [[nodiscard]] support::JsonValue to_json(bool include_timings = true) const;
 
  private:
+  /// The calling thread's ring under this session, registering one (and
+  /// assigning the next tid ordinal) on first use.
+  [[nodiscard]] TraceRing* thread_ring();
+
   mutable std::mutex mutex_;
   Metrics metrics_;
-  std::vector<TraceEvent> trace_;
   std::vector<Certificate> certificates_;
+
+  mutable std::mutex rings_mutex_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+
   Session* previous_ = nullptr;
+  std::uint64_t id_ = 0;  ///< Process-unique, for thread-local ring lookup.
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -114,9 +135,7 @@ inline void count([[maybe_unused]] std::string_view name,
 }
 
 /// Records one sample of a named timer without a surrounding ScopedPhase —
-/// for durations measured elsewhere (e.g. the allocation service's queue
-/// waits and batch sizes) or gauges sampled over time. No-op without a
-/// session.
+/// for durations measured elsewhere. No-op without a session.
 inline void time_sample([[maybe_unused]] std::string_view name,
                         [[maybe_unused]] double wall_ms,
                         [[maybe_unused]] double cpu_ms = 0.0) {
@@ -124,6 +143,24 @@ inline void time_sample([[maybe_unused]] std::string_view name,
   if (Session* session = Session::current()) session->time(name, wall_ms, cpu_ms);
 #endif
 }
+
+/// Records one value into a named log2-bucketed histogram (gauges sampled
+/// over time, latencies, sizes). No-op without a session.
+inline void sample([[maybe_unused]] std::string_view name,
+                   [[maybe_unused]] double value) {
+#if AA_OBS_ENABLED
+  if (Session* session = Session::current()) session->sample(name, value);
+#endif
+}
+
+/// Marks a point event (e.g. a warm-start path decision) on the calling
+/// thread's trace ring. No-op without a session.
+void instant(std::string_view name);
+
+/// Records a span that ends now and started `wall_ms` ago on the calling
+/// thread's trace ring (e.g. a queue wait measured across threads).
+/// No-op without a session.
+void span_ending_now(std::string_view name, double wall_ms);
 
 /// RAII phase marker: records an enter/exit trace-event pair and one sample
 /// of the timer named after the phase. Copying is disabled; phases must be

@@ -1,0 +1,102 @@
+#pragma once
+
+// Per-thread trace storage for the observability session.
+//
+// PR 1's session kept one global 4096-entry trace vector behind the same
+// mutex as the counters, so every ScopedPhase enter/exit from a service
+// worker contended with the metrics hot path. A TraceRing is the
+// replacement: each recording thread registers its own fixed-capacity
+// buffer with the session on first use (see Session::add_trace), writes
+// to it under a *per-ring* mutex — uncontended in steady state, since
+// exactly one thread produces into a ring — and the session drains and
+// merges all rings only at snapshot/teardown time.
+//
+// Capacity semantics match the old cap: once full, further events are
+// dropped (never overwritten — the front of the trace is what explains
+// the run) and counted per ring, so truncation stays visible. The
+// aggregate surfaces as obs/trace_dropped; per-ring counts ride along in
+// snapshots for the `metrics` exposition.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aa::obs {
+
+/// One phase-boundary record. Enter events carry only the timestamp; exit
+/// events additionally carry the phase's wall/CPU durations; instant
+/// events mark a point decision; complete events carry an externally
+/// measured span (start = at_ms, duration = wall_ms).
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kEnter, kExit, kInstant, kComplete };
+  Kind kind = Kind::kEnter;
+  std::string name;
+  int depth = 0;       ///< Nesting depth on the recording thread (0 = top).
+  double at_ms = 0.0;  ///< Wall offset from session start (span start).
+  double wall_ms = 0.0;  ///< Exit/complete: span wall duration.
+  double cpu_ms = 0.0;   ///< Exit only: span thread-CPU duration.
+  int tid = 0;  ///< Recording ring ordinal (filled in by the session).
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(int tid, std::size_t capacity)
+      : tid_(tid), capacity_(capacity) {
+    events_.reserve(capacity);
+  }
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Appends one event (stamping it with this ring's tid), or counts a
+  /// drop once the ring is full. Cheap: the mutex is only ever contended
+  /// against a snapshot in flight.
+  void push(TraceEvent event) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    event.tid = tid_;
+    events_.push_back(std::move(event));
+  }
+
+  /// Copies the recorded events (in recording order).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
+
+  [[nodiscard]] int tid() const noexcept { return tid_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+  }
+
+  /// Events rejected because the ring was full.
+  [[nodiscard]] std::int64_t dropped() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  const int tid_;
+  const std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::int64_t dropped_ = 0;
+};
+
+/// Summary of one ring for drop reporting (the `metrics` verb exposes
+/// these as aa_obs_trace_ring_dropped_total{ring="N"}).
+struct TraceRingInfo {
+  int tid = 0;
+  std::size_t recorded = 0;
+  std::int64_t dropped = 0;
+};
+
+}  // namespace aa::obs

@@ -14,6 +14,7 @@ Op op_from_name(const std::string& name) {
   if (name == "update_utility") return Op::kUpdateUtility;
   if (name == "solve") return Op::kSolve;
   if (name == "stats") return Op::kStats;
+  if (name == "metrics") return Op::kMetrics;
   if (name == "shutdown") return Op::kShutdown;
   throw ProtocolError(error_code::kUnknownOp, "unknown op '" + name + "'");
 }
@@ -59,6 +60,7 @@ std::string_view op_name(Op op) noexcept {
     case Op::kUpdateUtility: return "update_utility";
     case Op::kSolve: return "solve";
     case Op::kStats: return "stats";
+    case Op::kMetrics: return "metrics";
     case Op::kShutdown: return "shutdown";
   }
   return "unknown";
@@ -140,6 +142,7 @@ Request parse_request(std::string_view line, util::Resource capacity) {
       }
       break;
     case Op::kStats:
+    case Op::kMetrics:
     case Op::kShutdown:
       if (thread_node != nullptr || request.id.has_value() ||
           request.factor.has_value() || request.full_solve) {

@@ -12,6 +12,7 @@
 //   {"op": "update_utility", "id": 7, "thread": {...}}
 //   {"op": "solve", "mode": "auto"}          // mode: auto | full
 //   {"op": "stats"}
+//   {"op": "metrics"}                        // Prometheus text exposition
 //   {"op": "shutdown"}
 //
 // Optional on every request: "tag" (echoed verbatim on the reply, for
@@ -23,6 +24,7 @@
 // the transport can answer with a structured error rather than crash or
 // disconnect.
 
+#include <cstddef>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -65,8 +67,12 @@ enum class Op {
   kUpdateUtility,
   kSolve,
   kStats,
+  kMetrics,
   kShutdown,
 };
+
+/// Number of Op enumerators (for per-op count arrays).
+inline constexpr std::size_t kNumOps = 7;
 
 /// `op` as it appears on the wire.
 [[nodiscard]] std::string_view op_name(Op op) noexcept;

@@ -1,9 +1,9 @@
 #include "svc/service.hpp"
 
 #include <algorithm>
-#include <array>
 #include <utility>
 
+#include "obs/prometheus.hpp"
 #include "obs/registry.hpp"
 #include "obs/session.hpp"
 
@@ -12,8 +12,6 @@ namespace aa::svc {
 namespace {
 
 using support::JsonValue;
-
-constexpr std::array<double, 3> kReportedQuantiles = {0.5, 0.9, 0.99};
 
 double ms_between(std::chrono::steady_clock::time_point from,
                   std::chrono::steady_clock::time_point to) {
@@ -28,20 +26,6 @@ void merge_into(JsonValue& reply, const JsonValue& payload) {
 }
 
 }  // namespace
-
-void Service::SampleWindow::add(double sample) {
-  ++total_;
-  if (samples_.size() < limit_) {
-    samples_.push_back(sample);
-    return;
-  }
-  samples_[next_] = sample;
-  next_ = (next_ + 1) % limit_;
-}
-
-std::vector<double> Service::SampleWindow::snapshot() const {
-  return samples_;
-}
 
 Service::Service(ServiceConfig config)
     : config_(config),
@@ -149,9 +133,9 @@ void Service::submit_line(const std::string& line, ReplyFn reply) {
       ++errors_total_;
     }
     queue_peak_ = std::max(queue_peak_, depth);
+    queue_depth_.sample(static_cast<double>(depth));
   }
-  obs::time_sample(obs::metric::kSampleSvcQueueDepth,
-                   static_cast<double>(depth));
+  obs::sample(obs::metric::kSampleSvcQueueDepth, static_cast<double>(depth));
 }
 
 std::string Service::request(const std::string& line) {
@@ -232,20 +216,21 @@ void Service::record_latency(const Pending& pending, Clock::time_point now) {
   const double wall_ms = ms_between(pending.enqueued, now);
   {
     std::lock_guard stats(stats_mutex_);
-    request_latency_ms_.add(wall_ms);
+    request_latency_ms_.sample(wall_ms);
   }
-  obs::time_sample(obs::metric::kSampleSvcRequest, wall_ms);
+  obs::sample(obs::metric::kSampleSvcRequest, wall_ms);
 }
 
 std::vector<Service::Outgoing> Service::process_batch(
     std::vector<Pending> batch) {
+  const obs::ScopedPhase phase(obs::metric::kPhaseSvcBatch);
   obs::count(obs::metric::kSvcBatches);
-  obs::time_sample(obs::metric::kSampleSvcBatchSize,
-                   static_cast<double>(batch.size()));
+  obs::sample(obs::metric::kSampleSvcBatchSize,
+              static_cast<double>(batch.size()));
   {
     std::lock_guard stats(stats_mutex_);
     ++batches_;
-    batch_size_.add(static_cast<double>(batch.size()));
+    batch_size_.sample(static_cast<double>(batch.size()));
   }
 
   std::vector<Outgoing> out;
@@ -256,6 +241,8 @@ std::vector<Service::Outgoing> Service::process_batch(
   const Clock::time_point started = Clock::now();
   for (Pending& pending : batch) {
     const Request& request = pending.request;
+    obs::span_ending_now(obs::metric::kEventSvcQueueWait,
+                         ms_between(pending.enqueued, started));
     JsonValue reply;
     try {
       if (pending.error_reply) {
@@ -327,6 +314,11 @@ std::vector<Service::Outgoing> Service::process_batch(
             reply = make_ok_reply(request.op, request.tag);
             merge_into(reply, stats_json());
             break;
+          case Op::kMetrics:
+            reply = make_ok_reply(request.op, request.tag);
+            reply.set("content_type", "text/plain; version=0.0.4");
+            reply.set("body", metrics_text());
+            break;
           case Op::kShutdown: {
             shutdown_requested_.store(true, std::memory_order_release);
             {
@@ -355,13 +347,29 @@ std::vector<Service::Outgoing> Service::process_batch(
       const Clock::time_point solve_start = Clock::now();
       ServiceSolveResult solved = solver_.solve(state_, force_full);
       const double solve_ms = ms_between(solve_start, Clock::now());
+      switch (solved.path) {
+        case SolvePath::kCached:
+          obs::instant(obs::metric::kEventSvcPathCached);
+          break;
+        case SolvePath::kWarm:
+          obs::instant(obs::metric::kEventSvcPathWarm);
+          break;
+        case SolvePath::kFull:
+          obs::instant(obs::metric::kEventSvcPathFull);
+          break;
+      }
       {
         std::lock_guard stats(stats_mutex_);
         ++solves_by_path_[static_cast<std::size_t>(solved.path)];
         solves_coalesced_ +=
             static_cast<std::int64_t>(solve_slots.size()) - 1;
         migrations_total_ += static_cast<std::int64_t>(solved.migrations);
-        solve_latency_ms_.add(solve_ms);
+        if (solved.certificate.ok()) {
+          ++certificates_pass_;
+        } else {
+          ++certificates_fail_;
+        }
+        solve_latency_ms_.sample(solve_ms);
       }
       const JsonValue payload = solve_payload(solved, solve_ms);
       for (const std::size_t slot : solve_slots) {
@@ -427,17 +435,16 @@ JsonValue Service::stats_json() {
     depth = queue_.size();
   }
 
-  const auto latency_json = [](const SampleWindow& window) {
+  const auto latency_json = [](const obs::Histogram& histogram) {
     JsonValue node;
-    node.set("count", window.total());
-    const std::vector<double> samples = window.snapshot();
-    if (!samples.empty()) {
-      const std::vector<double> cut =
-          support::quantiles(samples, kReportedQuantiles);
-      node.set("p50_ms", cut[0]);
-      node.set("p90_ms", cut[1]);
-      node.set("p99_ms", cut[2]);
-      node.set("max_ms", *std::max_element(samples.begin(), samples.end()));
+    node.set("count", histogram.count());
+    if (!histogram.empty()) {
+      node.set("p50_ms", histogram.quantile(0.50));
+      node.set("p90_ms", histogram.quantile(0.90));
+      node.set("p99_ms", histogram.quantile(0.99));
+      node.set("p999_ms", histogram.quantile(0.999));
+      node.set("mean_ms", histogram.mean());
+      node.set("max_ms", histogram.max());
     }
     return node;
   };
@@ -453,7 +460,7 @@ JsonValue Service::stats_json() {
   payload.set("requests_total", requests_total_);
   JsonValue ops;
   for (const Op op : {Op::kAddThread, Op::kRemoveThread, Op::kUpdateUtility,
-                      Op::kSolve, Op::kStats, Op::kShutdown}) {
+                      Op::kSolve, Op::kStats, Op::kMetrics, Op::kShutdown}) {
     ops.set(std::string(op_name(op)),
             op_counts_[static_cast<std::size_t>(op)]);
   }
@@ -462,9 +469,8 @@ JsonValue Service::stats_json() {
   payload.set("timeouts", timeouts_);
   payload.set("batches", batches_);
   JsonValue batching;
-  batching.set("mean_size",
-               batch_size_.count() > 0 ? batch_size_.mean() : 0.0);
-  batching.set("max_size", batch_size_.count() > 0 ? batch_size_.max() : 0.0);
+  batching.set("mean_size", batch_size_.mean());
+  batching.set("max_size", batch_size_.max());
   payload.set("batching", std::move(batching));
   JsonValue solves;
   solves.set("full",
@@ -479,6 +485,92 @@ JsonValue Service::stats_json() {
   payload.set("request_latency", latency_json(request_latency_ms_));
   payload.set("solve_latency", latency_json(solve_latency_ms_));
   return payload;
+}
+
+std::string Service::metrics_text() {
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(queue_mutex_);
+    depth = queue_.size();
+  }
+
+  std::string out;
+  out.reserve(4096);
+  obs::prometheus_gauge(out, "aa_uptime_seconds",
+                        ms_between(started_, Clock::now()) / 1e3);
+
+  std::lock_guard stats(stats_mutex_);
+  obs::prometheus_counter(out, "aa_svc_requests_total", requests_total_);
+  obs::prometheus_header(out, "aa_svc_requests_by_op_total", "counter");
+  for (const Op op : {Op::kAddThread, Op::kRemoveThread, Op::kUpdateUtility,
+                      Op::kSolve, Op::kStats, Op::kMetrics, Op::kShutdown}) {
+    const std::string labels =
+        "op=\"" + std::string(op_name(op)) + "\"";
+    obs::prometheus_sample(out, "aa_svc_requests_by_op_total", labels,
+                           op_counts_[static_cast<std::size_t>(op)]);
+  }
+  obs::prometheus_counter(out, "aa_svc_errors_total", errors_total_);
+  obs::prometheus_counter(out, "aa_svc_timeouts_total", timeouts_);
+  obs::prometheus_counter(out, "aa_svc_batches_total", batches_);
+  obs::prometheus_counter(out, "aa_svc_solves_coalesced_total",
+                          solves_coalesced_);
+  obs::prometheus_header(out, "aa_svc_solves_total", "counter");
+  obs::prometheus_sample(
+      out, "aa_svc_solves_total", "path=\"full\"",
+      solves_by_path_[static_cast<std::size_t>(SolvePath::kFull)]);
+  obs::prometheus_sample(
+      out, "aa_svc_solves_total", "path=\"warm\"",
+      solves_by_path_[static_cast<std::size_t>(SolvePath::kWarm)]);
+  obs::prometheus_sample(
+      out, "aa_svc_solves_total", "path=\"cached\"",
+      solves_by_path_[static_cast<std::size_t>(SolvePath::kCached)]);
+  obs::prometheus_counter(out, "aa_svc_migrations_total", migrations_total_);
+  obs::prometheus_header(out, "aa_svc_certificates_total", "counter");
+  obs::prometheus_sample(out, "aa_svc_certificates_total",
+                         "verdict=\"pass\"", certificates_pass_);
+  obs::prometheus_sample(out, "aa_svc_certificates_total",
+                         "verdict=\"fail\"", certificates_fail_);
+  obs::prometheus_gauge(out, "aa_svc_queue_depth",
+                        static_cast<double>(depth));
+  obs::prometheus_gauge(out, "aa_svc_queue_peak",
+                        static_cast<double>(queue_peak_));
+  obs::prometheus_gauge(out, "aa_svc_threads",
+                        static_cast<double>(state_.num_threads()));
+  obs::prometheus_gauge(out, "aa_svc_state_version",
+                        static_cast<double>(state_.version()));
+  obs::prometheus_histogram(out, "aa_svc_request_latency_ms",
+                            request_latency_ms_);
+  obs::prometheus_summary(out, "aa_svc_request_latency_quantiles_ms",
+                          request_latency_ms_);
+  obs::prometheus_histogram(out, "aa_svc_solve_latency_ms",
+                            solve_latency_ms_);
+  obs::prometheus_summary(out, "aa_svc_solve_latency_quantiles_ms",
+                          solve_latency_ms_);
+  obs::prometheus_histogram(out, "aa_svc_batch_size", batch_size_);
+  obs::prometheus_histogram(out, "aa_svc_queue_depth_samples", queue_depth_);
+
+  // Session-side drop accounting, so truncated telemetry is visible from
+  // the same scrape that would be misled by it.
+  if (const obs::Session* session = obs::Session::current()) {
+    const obs::Metrics session_metrics = session->metrics();
+    obs::prometheus_counter(
+        out, "aa_obs_trace_dropped_total",
+        session_metrics.counter(obs::metric::kObsTraceDropped));
+    obs::prometheus_counter(
+        out, "aa_obs_histogram_dropped_total",
+        session_metrics.counter(obs::metric::kObsHistogramDropped));
+    obs::prometheus_counter(
+        out, "aa_obs_certificates_dropped_total",
+        session_metrics.counter(obs::metric::kObsCertificatesDropped));
+    obs::prometheus_header(out, "aa_obs_trace_ring_dropped_total", "counter");
+    for (const obs::TraceRingInfo& ring : session->trace_rings()) {
+      const std::string labels =
+          "ring=\"" + std::to_string(ring.tid) + "\"";
+      obs::prometheus_sample(out, "aa_obs_trace_ring_dropped_total", labels,
+                             ring.dropped);
+    }
+  }
+  return out;
 }
 
 }  // namespace aa::svc

@@ -21,10 +21,14 @@
 //     zero migrations) / full Algorithm 2, every reply carrying the
 //     0.828-approximation certificate verdict.
 //
-// The service keeps its own counters and latency windows (the `stats` op)
-// and mirrors them into the installed aa::obs session (svc/* counters,
-// svc/request + svc/solve timers, queue-depth and batch-size samples), so
-// `aa_serve --metrics` exports them through the existing JSON path.
+// The service keeps its own counters and log2-bucketed latency histograms
+// (obs/histogram.hpp) behind stats_mutex_ — surfaced as quantiles by the
+// `stats` op and as a Prometheus text exposition by the `metrics` op
+// (metrics_text) — and mirrors them into the installed aa::obs session
+// (svc/* counters, svc/batch + svc/solve phase timers, queue-depth /
+// batch-size / request-latency histogram samples, queue-wait spans and
+// warm-start path instants on the trace rings), so `aa_serve --metrics`
+// and `--trace-out` export them through the session paths.
 
 #include <atomic>
 #include <chrono>
@@ -39,8 +43,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "support/json.hpp"
-#include "support/stats.hpp"
 #include "support/thread_pool.hpp"
 #include "svc/instance_state.hpp"
 #include "svc/protocol.hpp"
@@ -121,20 +125,6 @@ class Service {
     support::JsonValue value;
   };
 
-  /// Fixed-size sliding window of recent samples for quantile reporting.
-  struct SampleWindow {
-    explicit SampleWindow(std::size_t limit) : limit_(limit) {}
-    void add(double sample);
-    [[nodiscard]] std::vector<double> snapshot() const;
-    [[nodiscard]] std::size_t total() const noexcept { return total_; }
-
-   private:
-    std::size_t limit_;
-    std::size_t next_ = 0;
-    std::size_t total_ = 0;
-    std::vector<double> samples_;
-  };
-
   void worker_loop();
   /// Pops the next batch; empty result means "stopping and drained".
   [[nodiscard]] std::vector<Pending> pop_batch();
@@ -143,6 +133,11 @@ class Service {
       std::vector<Pending> batch);
   void deliver_in_order(std::uint64_t seq, std::vector<Outgoing> outgoing);
   [[nodiscard]] support::JsonValue stats_json();
+  /// Prometheus text-format exposition of the service counters, latency
+  /// histograms (+ quantile summaries), certificate verdicts, uptime, and
+  /// — when an obs session is installed — its drop counters. Served by the
+  /// `metrics` op.
+  [[nodiscard]] std::string metrics_text();
   [[nodiscard]] support::JsonValue solve_payload(
       const ServiceSolveResult& solved, double solve_ms) const;
   void record_latency(const Pending& pending, Clock::time_point now);
@@ -167,20 +162,27 @@ class Service {
   std::condition_variable deliver_cv_;
   std::uint64_t delivered_seq_ = 0;
 
-  // Service-side statistics (stats_mutex_), surfaced by the `stats` op.
+  // Service-side statistics (stats_mutex_), surfaced by the `stats` and
+  // `metrics` ops. Distributions are log2-bucketed histograms: O(1) per
+  // sample with no window to age out, at the cost of one-bucket (2x)
+  // quantile resolution.
   mutable std::mutex stats_mutex_;
   std::int64_t requests_total_ = 0;
-  std::int64_t op_counts_[6] = {};
+  std::int64_t op_counts_[kNumOps] = {};
   std::int64_t errors_total_ = 0;
   std::int64_t timeouts_ = 0;
   std::int64_t batches_ = 0;
   std::int64_t solves_coalesced_ = 0;
   std::int64_t solves_by_path_[3] = {};  ///< Indexed by SolvePath.
   std::int64_t migrations_total_ = 0;
+  std::int64_t certificates_pass_ = 0;
+  std::int64_t certificates_fail_ = 0;
   std::size_t queue_peak_ = 0;
-  support::RunningStats batch_size_;
-  SampleWindow request_latency_ms_{16384};
-  SampleWindow solve_latency_ms_{4096};
+  obs::Histogram batch_size_;
+  obs::Histogram queue_depth_;
+  obs::Histogram request_latency_ms_;
+  obs::Histogram solve_latency_ms_;
+  const Clock::time_point started_ = Clock::now();
 
   std::atomic<bool> shutdown_requested_{false};
   std::unique_ptr<support::ThreadPool> pool_;

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -145,12 +147,45 @@ TEST(Session, NoSessionMeansNoOp) {
   ASSERT_EQ(Session::current(), nullptr);
   // None of these may crash or leak state into a later session.
   count("ghost", 42);
+  sample("ghost_hist", 1.0);
+  instant("ghost_instant");
+  span_ending_now("ghost_span", 0.5);
   {
     const ScopedPhase phase("ghost_phase");
   }
   Session session;
   EXPECT_TRUE(session.metrics().empty());
   EXPECT_TRUE(session.trace().empty());
+  EXPECT_TRUE(session.trace_rings().empty());
+}
+
+TEST(Session, DisabledPathIsOneRelaxedLoadAndBranch) {
+  // The instrumentation contract: with no session installed, every entry
+  // point reduces to one atomic load plus a branch. Pin the structural
+  // half (the session pointer must be a lock-free atomic — a lock would
+  // turn the "off" path into a syscall-capable operation) ...
+  static_assert(std::atomic<Session*>::is_always_lock_free,
+                "no-session fast path must not take a lock");
+  ASSERT_EQ(Session::current(), nullptr);
+
+  // ... and the behavioural half with a deliberately loose wall-time
+  // bound: 1M disabled calls must average far under a microsecond each.
+  // The ceiling is ~100x the expected cost so CI noise cannot trip it,
+  // while an accidental allocation, lock, or string copy on the off path
+  // (each tens of ns to us) still would.
+  constexpr int kCalls = 1'000'000;
+  const auto started = std::chrono::steady_clock::now();
+  for (int i = 0; i < kCalls; ++i) {
+    count("off", 1);
+    sample("off", 1.0);
+    const ScopedPhase phase("off");
+  }
+  const double elapsed_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  EXPECT_LT(elapsed_us / kCalls, 2.0)
+      << "disabled-path instrumentation cost regressed";
 }
 
 TEST(Session, NestedSessionsRestoreThePreviousOne) {

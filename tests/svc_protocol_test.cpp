@@ -67,6 +67,13 @@ TEST(ProtocolParse, SolveModesAndDeadline) {
   EXPECT_EQ(timed.deadline_ms, 12.5);
 }
 
+TEST(ProtocolParse, MetricsRoundTripsThroughNames) {
+  const Request request = parse(R"({"op": "metrics", "tag": "scrape"})");
+  EXPECT_EQ(request.op, Op::kMetrics);
+  EXPECT_EQ(request.tag, "scrape");
+  EXPECT_EQ(op_name(Op::kMetrics), "metrics");
+}
+
 TEST(ProtocolParse, MalformedJsonIsParseError) {
   EXPECT_EQ(code_of(""), error_code::kParseError);
   EXPECT_EQ(code_of("not json"), error_code::kParseError);

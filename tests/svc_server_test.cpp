@@ -11,8 +11,11 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "support/json.hpp"
@@ -32,6 +35,21 @@ std::string socket_path(const std::string& name) {
   // Keep it short: sun_path caps at ~108 bytes.
   return "/tmp/aa_svc_test_" + name + "_" + std::to_string(::getpid()) +
          ".sock";
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
 }
 
 /// Service + SocketServer wired up on a fresh socket, server loop running
@@ -116,6 +134,35 @@ TEST_F(SocketFixture, TwoConnectionsInterleaved) {
             "B");
 }
 
+TEST_F(SocketFixture, MetricsVerbReturnsPrometheusText) {
+  FdHandle fd = connect_unix(path_, 2000);
+  LineChannel channel(fd.get(), kDefaultMaxLineBytes);
+  ASSERT_TRUE(round_trip(channel, kAddPower).at("ok").as_bool());
+  ASSERT_TRUE(round_trip(channel, R"({"op": "solve"})").at("ok").as_bool());
+  const JsonValue reply = round_trip(channel, R"({"op": "metrics"})");
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("content_type").as_string(),
+            "text/plain; version=0.0.4");
+  const std::string body = reply.at("body").as_string();
+  EXPECT_NE(body.find("# TYPE aa_svc_requests_total counter\n"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("aa_svc_threads 1\n"), std::string::npos) << body;
+  EXPECT_NE(body.find("_bucket{le=\"+Inf\"}"), std::string::npos) << body;
+  // Every line is a comment or `name[{labels}] value`: the metric name
+  // stays inside the Prometheus charset and a value token follows.
+  constexpr std::string_view kNameChars =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:";
+  for (const std::string& line : lines_of(body)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t name_end = line.find_first_not_of(kNameChars);
+    ASSERT_NE(name_end, std::string::npos) << line;
+    ASSERT_GT(name_end, 0u) << line;
+    EXPECT_TRUE(line[name_end] == '{' || line[name_end] == ' ') << line;
+    EXPECT_NE(line.rfind(' '), line.size() - 1) << line;
+  }
+}
+
 TEST_F(SocketFixture, MidStreamEofIsACleanDisconnect) {
   {
     FdHandle fd = connect_unix(path_, 2000);
@@ -171,23 +218,9 @@ CommandResult run_command(const std::string& command) {
   return result;
 }
 
-std::vector<std::string> lines_of(const std::string& text) {
-  std::vector<std::string> lines;
-  std::size_t start = 0;
-  while (start < text.size()) {
-    const std::size_t end = text.find('\n', start);
-    if (end == std::string::npos) {
-      lines.push_back(text.substr(start));
-      break;
-    }
-    lines.push_back(text.substr(start, end - start));
-    start = end + 1;
-  }
-  return lines;
-}
-
 constexpr const char* kServe = AA_SERVE_BIN;
 constexpr const char* kLoadgen = AA_LOADGEN_BIN;
+constexpr const char* kTop = AA_TOP_BIN;
 
 TEST(ServeBinary, StdioSession) {
   const std::string script =
@@ -209,6 +242,72 @@ TEST(ServeBinary, StdioSession) {
   EXPECT_TRUE(solved.at("certificate_ok").as_bool());
   EXPECT_EQ(json_parse(replies[2]).at("code").as_string(), "unknown_op");
   EXPECT_TRUE(json_parse(replies[3]).at("ok").as_bool());
+}
+
+TEST(ServeBinary, MetricsVerbRoundTripsOverStdio) {
+  const std::string script =
+      R"({"op": "add_thread", "thread": {"type": "power", "scale": 1.0, "beta": 0.5}})"
+      "\\n"
+      R"({"op": "solve"})"
+      "\\n"
+      R"({"op": "metrics"})"
+      "\\n"
+      R"({"op": "shutdown"})";
+  // --batch-max 1 keeps the metrics request in a later batch than the
+  // solve, so the scrape observes the committed solve counters.
+  const CommandResult run = run_command("printf '" + script + "\\n' | " +
+                                        kServe + " --batch-max 1");
+  ASSERT_EQ(run.status, 0) << run.output;
+  const std::vector<std::string> replies = lines_of(run.output);
+  ASSERT_EQ(replies.size(), 4u) << run.output;
+  const JsonValue reply = json_parse(replies[2]);
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("content_type").as_string(),
+            "text/plain; version=0.0.4");
+  const std::string body = reply.at("body").as_string();
+  EXPECT_NE(body.find("# TYPE aa_svc_request_latency_ms histogram\n"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("aa_svc_solves_total{path=\"full\"} 1\n"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("aa_svc_certificates_total{verdict=\"pass\"} 1\n"),
+            std::string::npos)
+      << body;
+}
+
+TEST(ServeBinary, TopScrapesLiveServerAndTraceOutIsLoadable) {
+  const std::string sock = socket_path("top");
+  const std::string trace_file = sock + ".trace.json";
+  // Server with --trace-out, a 1000-request soak in the background, and
+  // aa_top scraping the metrics verb while the soak is in flight. aa_top
+  // exits non-zero if the exposition fails its validator, so it doubles
+  // as the format checker.
+  const std::string command =
+      std::string("sh -c '") + kServe + " --socket " + sock +
+      " --trace-out " + trace_file + " & server=$!; " + kLoadgen +
+      " --socket " + sock +
+      " --requests 1000 --connections 4 --seed 11 & load=$!; " + kTop +
+      " --socket " + sock + " --once 1 --raw 1; rc=$?; "
+      "wait $load || rc=1; " + kLoadgen + " --socket " + sock +
+      " --requests 0 --threads-init 0 --shutdown 1 > /dev/null; "
+      "wait $server || rc=1; exit $rc'";
+  const CommandResult run = run_command(command);
+  EXPECT_EQ(run.status, 0) << run.output;
+  EXPECT_NE(run.output.find("aa_svc_requests_total"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("_bucket{le=\"+Inf\"}"), std::string::npos)
+      << run.output;
+
+  // The shutdown trace must be a loadable trace_event document.
+  std::ifstream in(trace_file);
+  ASSERT_TRUE(in.good()) << trace_file;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue trace = json_parse(buffer.str());
+  EXPECT_FALSE(trace.at("traceEvents").as_array().empty());
+  EXPECT_EQ(trace.at("displayTimeUnit").as_string(), "ms");
+  std::remove(trace_file.c_str());
 }
 
 TEST(ServeBinary, LoadgenSoakEndsWithZeroFailures) {

@@ -12,10 +12,12 @@
 // Checks (select with --check NAME, repeatable; default = all):
 //
 //   metric-literals  string literals at obs instrumentation sites
-//                    (obs::count / obs::time_sample / obs::ScopedPhase)
-//                    anywhere under src/ or tools/ — call sites must use
-//                    the obs::metric registry constants. Also bans literal
-//                    error codes at make_error_reply / ProtocolError sites.
+//                    (obs::count / obs::time_sample / obs::sample /
+//                    obs::instant / obs::span_ending_now /
+//                    obs::ScopedPhase) anywhere under src/ or tools/ —
+//                    call sites must use the obs::metric registry
+//                    constants. Also bans literal error codes at
+//                    make_error_reply / ProtocolError sites.
 //   metric-registry  src/obs/registry.hpp is internally consistent (no
 //                    duplicate names, every constant listed in its kAll*
 //                    array), every registered name is documented in
@@ -295,10 +297,11 @@ class Linter {
     static const char* const kCheck = "metric-literals";
     const std::regex scope(R"(^(src|tools)/.*\.(cpp|hpp|h)$)");
     const std::regex obs_call(
-        R"(obs::(count|time_sample)\s*\(\s*")");
+        R"(obs::(count|time_sample|sample|instant|span_ending_now)\s*\(\s*")");
     const std::regex phase_ctor(
         R"(ScopedPhase\s*(\w+\s*)?[({]\s*")");
-    const std::regex member_call(R"((->|\.)\s*(count|time)\s*\(\s*")");
+    const std::regex member_call(
+        R"((->|\.)\s*(count|time|sample)\s*\(\s*")");
     const std::regex error_reply(
         R"((make_error_reply|ProtocolError)\s*\(\s*")");
     for (const SourceFile* file : match(scope)) {
@@ -461,6 +464,7 @@ class Linter {
         {"counters", "kAllCounters"},
         {"timers", "kAllTimers"},
         {"samples", "kAllSamples"},
+        {"events", "kAllEvents"},
     };
     std::map<std::string, const RegistryEntry*> by_value;
     for (const RegistryEntry& entry : entries) {
@@ -502,6 +506,7 @@ class Linter {
         {"counters", "### Counters"},
         {"timers", "### Phase timers"},
         {"samples", "### Samples"},
+        {"events", "### Trace events"},
     };
     std::set<std::string> documented_all;
     for (const auto& [section, heading] : kSectionHeading) {

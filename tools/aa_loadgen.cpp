@@ -3,7 +3,7 @@
 //   aa_loadgen --socket PATH [--requests N] [--connections K]
 //              [--threads-init T] [--solve-every S] [--capacity C]
 //              [--seed SEED] [--deadline-ms D] [--script FILE]
-//              [--shutdown 1] [--connect-timeout-ms MS]
+//              [--shutdown 1] [--connect-timeout-ms MS] [--json 1]
 //
 // Replays a request stream against a running aa_serve and verifies every
 // reply. Default mode is randomized: each of K connections seeds the
@@ -17,7 +17,9 @@
 // carry certificate_ok=true (the 0.828-approximation certificate); anything
 // else counts as a failure and the exit status is 1. On success prints
 // throughput and p50/p90/p99/max round-trip latency, the solve-path mix
-// observed, and the server's own stats line.
+// observed, and the server's own stats line. --json 1 appends one
+// machine-readable summary line (a single JSON object with the same
+// numbers) as the final stdout line, for CI and scripts.
 
 #include <cstdint>
 #include <fstream>
@@ -243,7 +245,7 @@ int main(int argc, char** argv) {
         argc, argv,
         {"socket", "requests", "connections", "threads-init", "solve-every",
          "capacity", "seed", "deadline-ms", "script", "shutdown",
-         "connect-timeout-ms"});
+         "connect-timeout-ms", "json"});
     Options options;
     options.socket_path = args.get("socket", "");
     if (options.socket_path.empty() || !args.positional().empty()) {
@@ -251,7 +253,7 @@ int main(int argc, char** argv) {
                    "[--connections K] [--threads-init T] [--solve-every S] "
                    "[--capacity C] [--seed SEED] [--deadline-ms D] "
                    "[--script FILE] [--shutdown 1] [--connect-timeout-ms "
-                   "MS]\n";
+                   "MS] [--json 1]\n";
       return 2;
     }
     options.requests = static_cast<std::size_t>(args.get_int("requests", 1000));
@@ -269,6 +271,7 @@ int main(int argc, char** argv) {
     options.send_shutdown = args.get_int("shutdown", 0) != 0;
     options.connect_timeout_ms =
         static_cast<int>(args.get_int("connect-timeout-ms", 5000));
+    const bool json_summary = args.get_int("json", 0) != 0;
 
     Tally total;
     const auto start = std::chrono::steady_clock::now();
@@ -336,6 +339,34 @@ int main(int argc, char** argv) {
               << total.solves_cached << "), all certified >= 0.828\n";
     if (!server_stats.empty()) {
       std::cout << "server stats: " << server_stats << "\n";
+    }
+    if (json_summary) {
+      support::JsonValue summary;
+      summary.set("requests", total.sent);
+      summary.set("failures", total.failures);
+      summary.set("elapsed_s", elapsed_s);
+      summary.set("throughput_rps",
+                  elapsed_s > 0.0
+                      ? static_cast<double>(total.sent) / elapsed_s
+                      : 0.0);
+      if (!total.latency_ms.empty()) {
+        const double qs[] = {0.5, 0.9, 0.99, 1.0};
+        const std::vector<double> quantiles =
+            support::quantiles(total.latency_ms, qs);
+        support::JsonValue latency;
+        latency.set("p50_ms", quantiles[0]);
+        latency.set("p90_ms", quantiles[1]);
+        latency.set("p99_ms", quantiles[2]);
+        latency.set("max_ms", quantiles[3]);
+        summary.set("latency", std::move(latency));
+      }
+      support::JsonValue solves;
+      solves.set("total", total.solves);
+      solves.set("warm", total.solves_warm);
+      solves.set("full", total.solves_full);
+      solves.set("cached", total.solves_cached);
+      summary.set("solves", std::move(solves));
+      std::cout << summary.dump() << "\n";
     }
     for (const std::string& sample : total.failure_samples) {
       std::cerr << "aa_loadgen: failure: " << sample << "\n";

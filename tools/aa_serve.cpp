@@ -5,7 +5,7 @@
 //            [--batch-max B] [--batch-linger-ms L] [--deadline-ms D]
 //            [--max-queue Q] [--max-line-bytes N]
 //            [--hysteresis H] [--resolve-fraction F] [--resolve-min K]
-//            [--metrics FILE|-]
+//            [--metrics FILE|-] [--trace-out FILE]
 //
 // Speaks line-delimited JSON (add_thread / remove_thread / update_utility /
 // solve / stats / shutdown) over a Unix domain socket at --socket, or over
@@ -20,7 +20,11 @@
 // solve reply carries its 0.828-approximation certificate verdict.
 //
 // --metrics writes the aa::obs blob (svc/* counters, solve timings, and the
-// per-solve certificates) to FILE, or stdout with "-", at exit.
+// per-solve certificates) to FILE, or stdout with "-", at exit. --trace-out
+// writes the run's merged trace rings as a Chrome trace_event JSON document
+// at exit — load it in chrome://tracing or https://ui.perfetto.dev. Either
+// flag installs the obs session. Live scraping without waiting for exit
+// goes through the `metrics` protocol verb (Prometheus text; see aa_top).
 
 #include <csignal>
 
@@ -29,6 +33,7 @@
 #include <string>
 
 #include "io/instance_io.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/session.hpp"
 #include "support/args.hpp"
 #include "svc/server.hpp"
@@ -64,14 +69,15 @@ int main(int argc, char** argv) {
         argc, argv,
         {"socket", "stdio", "servers", "capacity", "workers", "batch-max",
          "batch-linger-ms", "deadline-ms", "max-queue", "max-line-bytes",
-         "hysteresis", "resolve-fraction", "resolve-min", "metrics"});
+         "hysteresis", "resolve-fraction", "resolve-min", "metrics",
+         "trace-out"});
     if (!args.positional().empty()) {
       std::cerr << "usage: aa_serve [--socket PATH] [--stdio 1] "
                    "[--servers M] [--capacity C] [--workers W] "
                    "[--batch-max B] [--batch-linger-ms L] [--deadline-ms D] "
                    "[--max-queue Q] [--max-line-bytes N] [--hysteresis H] "
                    "[--resolve-fraction F] [--resolve-min K] "
-                   "[--metrics FILE|-]\n";
+                   "[--metrics FILE|-] [--trace-out FILE]\n";
       return 2;
     }
     // Belt and braces next to MSG_NOSIGNAL: a client vanishing mid-reply
@@ -86,8 +92,11 @@ int main(int argc, char** argv) {
                      static_cast<long long>(svc::kDefaultMaxLineBytes)));
 
     const std::string metrics_path = args.get("metrics", "");
+    const std::string trace_path = args.get("trace-out", "");
     std::unique_ptr<obs::Session> session;
-    if (!metrics_path.empty()) session = std::make_unique<obs::Session>();
+    if (!metrics_path.empty() || !trace_path.empty()) {
+      session = std::make_unique<obs::Session>();
+    }
 
     svc::Service service(config_from_args(args));
     service.start();
@@ -99,13 +108,16 @@ int main(int argc, char** argv) {
     }
     service.stop();
 
-    if (session != nullptr) {
+    if (session != nullptr && !metrics_path.empty()) {
       const std::string blob = session->to_json().dump(2) + "\n";
       if (metrics_path == "-") {
         std::cout << blob;
       } else {
         io::write_file(metrics_path, blob);
       }
+    }
+    if (session != nullptr && !trace_path.empty()) {
+      io::write_file(trace_path, obs::chrome_trace_json(*session) + "\n");
     }
     return 0;
   } catch (const std::exception& error) {
