@@ -13,6 +13,14 @@
 //     threads, set E);
 //   * assign the chosen thread to a server giving it the greatest utility
 //     with allocation min(c_hat_i, C_j).
+//
+// The shipped assign_algorithm1 replaces the paper's O(m n^2) rescans with
+// incremental candidate selection (a peak-sorted cursor for the full picks,
+// one memoized two-segment evaluation per thread for the unfull picks) and
+// runs the rounds in O(n log n + (n + m) m) while producing bit-identical
+// assignments — the pair-selection tie-breaks of the literal pseudocode are
+// replayed exactly (see the invariant notes in algorithm1.cpp, and
+// docs/BENCHMARKS.md for the measured speedup).
 
 #include <span>
 
@@ -27,6 +35,15 @@ namespace aa::core {
 /// Assignment phase only, for callers that already computed the
 /// super-optimal allocation (benches isolate phases this way).
 [[nodiscard]] Assignment assign_algorithm1(
+    const Instance& instance, std::span<const util::Linearized> linearized);
+
+/// The literal O(m n^2) transcription of the paper's pseudocode: rescans
+/// every (thread, server) pair each round. Kept as the differential-testing
+/// oracle for the incremental implementation above
+/// (tests/algorithm1_equivalence_test.cpp pins bit-identical output) and as
+/// the `alg1_reference` baseline in tools/aa_bench. Records no obs metrics,
+/// so oracle runs never pollute a measurement session.
+[[nodiscard]] Assignment assign_algorithm1_reference(
     const Instance& instance, std::span<const util::Linearized> linearized);
 
 }  // namespace aa::core

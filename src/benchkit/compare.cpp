@@ -1,0 +1,115 @@
+#include "benchkit/compare.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace aa::benchkit {
+
+std::string_view case_status_name(CaseStatus status) {
+  switch (status) {
+    case CaseStatus::kOk: return "ok";
+    case CaseStatus::kImproved: return "improved";
+    case CaseStatus::kRegressed: return "REGRESSED";
+    case CaseStatus::kMissingInCurrent: return "missing-in-current";
+    case CaseStatus::kNewInCurrent: return "new-in-current";
+    case CaseStatus::kZeroBaseline: return "zero-baseline";
+  }
+  return "unknown";
+}
+
+CompareResult compare_reports(const Report& baseline, const Report& current,
+                              const CompareOptions& options) {
+  std::unordered_map<std::string_view, const CaseResult*> current_by_name;
+  current_by_name.reserve(current.cases.size());
+  for (const CaseResult& result : current.cases) {
+    current_by_name.emplace(result.name, &result);
+  }
+
+  CompareResult out;
+  for (const CaseResult& base : baseline.cases) {
+    CaseDelta delta;
+    delta.name = base.name;
+    delta.baseline_median_ms = base.median_ms;
+
+    const auto it = current_by_name.find(base.name);
+    if (it == current_by_name.end()) {
+      delta.status = CaseStatus::kMissingInCurrent;
+      if (options.require_all) ++out.regressions;
+      out.deltas.push_back(std::move(delta));
+      continue;
+    }
+    const CaseResult& cur = *it->second;
+    delta.current_median_ms = cur.median_ms;
+    // %.17g round-trips doubles exactly through the JSON layer, so equal
+    // seeds must reproduce the check bit for bit.
+    delta.check_matches = !(base.check < cur.check) && !(cur.check < base.check);
+    if (!delta.check_matches) ++out.check_mismatches;
+
+    if (base.median_ms <= 0.0) {
+      delta.status = CaseStatus::kZeroBaseline;
+    } else {
+      delta.ratio = cur.median_ms / base.median_ms;
+      if (delta.ratio > 1.0 + options.threshold) {
+        delta.status = CaseStatus::kRegressed;
+        ++out.regressions;
+      } else if (delta.ratio < 1.0 - options.threshold) {
+        delta.status = CaseStatus::kImproved;
+        ++out.improvements;
+      } else {
+        delta.status = CaseStatus::kOk;
+      }
+    }
+    out.deltas.push_back(std::move(delta));
+  }
+
+  for (const CaseResult& cur : current.cases) {
+    const bool in_baseline =
+        std::any_of(baseline.cases.begin(), baseline.cases.end(),
+                    [&](const CaseResult& base) { return base.name == cur.name; });
+    if (in_baseline) continue;
+    CaseDelta delta;
+    delta.name = cur.name;
+    delta.status = CaseStatus::kNewInCurrent;
+    delta.current_median_ms = cur.median_ms;
+    out.deltas.push_back(std::move(delta));
+  }
+  return out;
+}
+
+std::string format_compare(const CompareResult& result,
+                           const CompareOptions& options) {
+  std::size_t name_width = 4;
+  for (const CaseDelta& delta : result.deltas) {
+    name_width = std::max(name_width, delta.name.size());
+  }
+
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof line, "%-*s %12s %12s %8s  %s\n",
+                static_cast<int>(name_width), "case", "base ms", "cur ms",
+                "ratio", "status");
+  out += line;
+  for (const CaseDelta& delta : result.deltas) {
+    char ratio[32] = "-";
+    if (delta.ratio > 0.0) {
+      std::snprintf(ratio, sizeof ratio, "%.3f", delta.ratio);
+    }
+    std::snprintf(line, sizeof line, "%-*s %12.4f %12.4f %8s  %s%s\n",
+                  static_cast<int>(name_width), delta.name.c_str(),
+                  delta.baseline_median_ms, delta.current_median_ms, ratio,
+                  case_status_name(delta.status).data(),
+                  delta.check_matches ? "" : " [check mismatch]");
+    out += line;
+  }
+  std::snprintf(line, sizeof line,
+                "threshold %.0f%%: %zu regressed, %zu improved, %zu check "
+                "mismatches -> %s\n",
+                options.threshold * 100.0, result.regressions,
+                result.improvements, result.check_mismatches,
+                result.ok() ? "OK" : "FAIL");
+  out += line;
+  return out;
+}
+
+}  // namespace aa::benchkit

@@ -1,0 +1,74 @@
+#pragma once
+
+// Baseline comparison for benchmark reports (aa_bench --compare).
+//
+// Joins two Reports on case name and classifies each case by the ratio of
+// current to baseline median latency. The regression predicate is strictly
+// greater than (1 + threshold): a case sitting exactly at the threshold
+// passes, which tests/bench_json_test.cpp pins. Cases present on only one
+// side are reported (kMissingInCurrent / kNewInCurrent) but only count as
+// failures under `require_all`; a zero baseline median makes the ratio
+// meaningless and is surfaced as kZeroBaseline (warn, never fail).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "benchkit/report.hpp"
+
+namespace aa::benchkit {
+
+struct CompareOptions {
+  /// Relative slowdown tolerated before a case counts as regressed:
+  /// regression iff current/baseline > 1 + threshold.
+  double threshold = 0.10;
+  /// Improvement callout uses the mirrored bound (ratio < 1 - threshold).
+  /// When true, baseline cases missing from the current report count as
+  /// regressions (a renamed or dropped case stops being silently ignored).
+  bool require_all = false;
+};
+
+enum class CaseStatus {
+  kOk,                ///< Within threshold either way.
+  kImproved,          ///< ratio < 1 - threshold.
+  kRegressed,         ///< ratio > 1 + threshold.
+  kMissingInCurrent,  ///< In baseline only.
+  kNewInCurrent,      ///< In current only.
+  kZeroBaseline,      ///< Baseline median is 0; ratio undefined.
+};
+
+[[nodiscard]] std::string_view case_status_name(CaseStatus status);
+
+struct CaseDelta {
+  std::string name;
+  CaseStatus status = CaseStatus::kOk;
+  double baseline_median_ms = 0.0;
+  double current_median_ms = 0.0;
+  /// current / baseline; 0 when undefined (missing side or zero baseline).
+  double ratio = 0.0;
+  /// True when both sides carry the same deterministic check value —
+  /// comparing timings is only meaningful if the workloads matched.
+  bool check_matches = true;
+};
+
+struct CompareResult {
+  std::vector<CaseDelta> deltas;  ///< Baseline order, new cases appended.
+  std::size_t regressions = 0;    ///< kRegressed (+ missing under require_all).
+  std::size_t improvements = 0;
+  std::size_t check_mismatches = 0;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return regressions == 0 && check_mismatches == 0;
+  }
+};
+
+[[nodiscard]] CompareResult compare_reports(const Report& baseline,
+                                            const Report& current,
+                                            const CompareOptions& options = {});
+
+/// Human-readable per-case table plus a one-line verdict.
+[[nodiscard]] std::string format_compare(const CompareResult& result,
+                                         const CompareOptions& options = {});
+
+}  // namespace aa::benchkit

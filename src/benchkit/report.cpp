@@ -1,0 +1,174 @@
+#include "benchkit/report.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace aa::benchkit {
+
+namespace {
+
+support::JsonValue case_to_json(const CaseResult& result) {
+  support::JsonValue::Object object;
+  support::JsonValue json(std::move(object));
+  json.set("name", result.name);
+  json.set("group", result.group);
+  json.set("repetitions", result.repetitions);
+  json.set("median_ms", result.median_ms);
+  json.set("mean_ms", result.mean_ms);
+  json.set("stddev_ms", result.stddev_ms);
+  json.set("min_ms", result.min_ms);
+  json.set("max_ms", result.max_ms);
+  json.set("rel_stderr", result.rel_stderr);
+  json.set("check", result.check);
+  json.set("counters", result.counters);
+  return json;
+}
+
+/// "" on success, else the problem prefixed with the case's position.
+std::string validate_case(const support::JsonValue& json, std::size_t index) {
+  const std::string where = "cases[" + std::to_string(index) + "]";
+  if (!json.is_object()) return where + ": not an object";
+
+  const char* string_fields[] = {"name", "group"};
+  for (const char* field : string_fields) {
+    const support::JsonValue* value = json.find(field);
+    if (value == nullptr) return where + ": missing field '" + field + "'";
+    if (!value->is_string()) return where + ": field '" + field + "' is not a string";
+    if (value->as_string().empty()) return where + ": field '" + field + "' is empty";
+  }
+
+  const char* number_fields[] = {"repetitions", "median_ms", "mean_ms",
+                                 "stddev_ms",   "min_ms",    "max_ms",
+                                 "rel_stderr",  "check"};
+  for (const char* field : number_fields) {
+    const support::JsonValue* value = json.find(field);
+    if (value == nullptr) return where + ": missing field '" + field + "'";
+    if (!value->is_number()) return where + ": field '" + field + "' is not a number";
+    if (!std::isfinite(value->as_number())) {
+      return where + ": field '" + field + "' is not finite";
+    }
+  }
+  if (json.at("repetitions").as_number() < 1.0) {
+    return where + ": field 'repetitions' must be >= 1";
+  }
+  if (json.at("median_ms").as_number() < 0.0) {
+    return where + ": field 'median_ms' must be >= 0";
+  }
+
+  const support::JsonValue* counters = json.find("counters");
+  if (counters == nullptr) return where + ": missing field 'counters'";
+  if (!counters->is_object()) return where + ": field 'counters' is not an object";
+  for (const auto& [name, value] : counters->as_object()) {
+    if (!value.is_number()) {
+      return where + ": counter '" + name + "' is not a number";
+    }
+  }
+  return "";
+}
+
+CaseResult case_from_json(const support::JsonValue& json) {
+  CaseResult result;
+  result.name = json.at("name").as_string();
+  result.group = json.at("group").as_string();
+  result.repetitions = static_cast<std::size_t>(json.at("repetitions").as_int());
+  result.median_ms = json.at("median_ms").as_number();
+  result.mean_ms = json.at("mean_ms").as_number();
+  result.stddev_ms = json.at("stddev_ms").as_number();
+  result.min_ms = json.at("min_ms").as_number();
+  result.max_ms = json.at("max_ms").as_number();
+  result.rel_stderr = json.at("rel_stderr").as_number();
+  result.check = json.at("check").as_number();
+  result.counters = json.at("counters");
+  return result;
+}
+
+}  // namespace
+
+support::JsonValue report_to_json(const Report& report) {
+  support::JsonValue json{support::JsonValue::Object{}};
+  json.set("schema_version", report.schema_version);
+  json.set("host", report.host);
+  json.set("date_utc", report.date_utc);
+  json.set("git_sha", report.git_sha);
+  json.set("compiler", report.compiler);
+  json.set("build_type", report.build_type);
+  json.set("suite", report.suite);
+  json.set("seed", static_cast<std::int64_t>(report.seed));
+  support::JsonValue::Array cases;
+  cases.reserve(report.cases.size());
+  for (const CaseResult& result : report.cases) {
+    cases.push_back(case_to_json(result));
+  }
+  json.set("cases", support::JsonValue(std::move(cases)));
+  return json;
+}
+
+std::string validate_report_json(const support::JsonValue& json) {
+  if (!json.is_object()) return "report: not an object";
+
+  const support::JsonValue* version = json.find("schema_version");
+  if (version == nullptr) return "report: missing field 'schema_version'";
+  if (!version->is_number()) return "report: field 'schema_version' is not a number";
+  if (version->as_int() != kSchemaVersion) {
+    return "report: unsupported schema_version " +
+           std::to_string(version->as_int()) + " (expected " +
+           std::to_string(kSchemaVersion) + ")";
+  }
+
+  const char* string_fields[] = {"host",     "date_utc", "git_sha",
+                                 "compiler", "build_type", "suite"};
+  for (const char* field : string_fields) {
+    const support::JsonValue* value = json.find(field);
+    if (value == nullptr) return std::string("report: missing field '") + field + "'";
+    if (!value->is_string()) {
+      return std::string("report: field '") + field + "' is not a string";
+    }
+  }
+
+  const support::JsonValue* seed = json.find("seed");
+  if (seed == nullptr) return "report: missing field 'seed'";
+  if (!seed->is_number()) return "report: field 'seed' is not a number";
+
+  const support::JsonValue* cases = json.find("cases");
+  if (cases == nullptr) return "report: missing field 'cases'";
+  if (!cases->is_array()) return "report: field 'cases' is not an array";
+  for (std::size_t i = 0; i < cases->as_array().size(); ++i) {
+    std::string problem = validate_case(cases->as_array()[i], i);
+    if (!problem.empty()) return problem;
+  }
+  // Case names are the comparator's join key; duplicates would silently
+  // shadow each other.
+  for (std::size_t i = 0; i < cases->as_array().size(); ++i) {
+    const std::string& name = cases->as_array()[i].at("name").as_string();
+    for (std::size_t j = i + 1; j < cases->as_array().size(); ++j) {
+      if (cases->as_array()[j].at("name").as_string() == name) {
+        return "cases[" + std::to_string(j) + "]: duplicate case name '" +
+               name + "'";
+      }
+    }
+  }
+  return "";
+}
+
+Report report_from_json(const support::JsonValue& json) {
+  const std::string problem = validate_report_json(json);
+  if (!problem.empty()) {
+    throw std::runtime_error("invalid benchmark report: " + problem);
+  }
+  Report report;
+  report.schema_version = json.at("schema_version").as_int();
+  report.host = json.at("host").as_string();
+  report.date_utc = json.at("date_utc").as_string();
+  report.git_sha = json.at("git_sha").as_string();
+  report.compiler = json.at("compiler").as_string();
+  report.build_type = json.at("build_type").as_string();
+  report.suite = json.at("suite").as_string();
+  report.seed = static_cast<std::uint64_t>(json.at("seed").as_int());
+  for (const support::JsonValue& case_json : json.at("cases").as_array()) {
+    report.cases.push_back(case_from_json(case_json));
+  }
+  return report;
+}
+
+}  // namespace aa::benchkit

@@ -1,0 +1,74 @@
+#pragma once
+
+// Benchmark report model for tools/aa_bench (see docs/BENCHMARKS.md).
+//
+// A Report is the in-memory form of one BENCH_<host>_<date>.json document:
+// run provenance (host, UTC date, git SHA, compiler, build type, suite,
+// seed) plus one CaseResult per benchmark case. The JSON mapping is
+// schema-versioned so future field changes can stay readable; loaders
+// reject documents whose schema_version they do not understand instead of
+// misinterpreting them. validate_report_json() is the single gatekeeper —
+// report_from_json() calls it first, and tests/bench_json_test.cpp pins
+// its error messages for malformed documents.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace aa::benchkit {
+
+/// Bump when the JSON layout changes incompatibly; readers reject other
+/// versions outright (docs/BENCHMARKS.md documents the refresh policy).
+inline constexpr std::int64_t kSchemaVersion = 1;
+
+/// One benchmark case: timing summary over `repetitions` measured runs plus
+/// a deterministic workload fingerprint.
+struct CaseResult {
+  std::string name;   ///< Unique key, e.g. "alg1/solve/n512_m8_c1000".
+  std::string group;  ///< Suite grouping, e.g. "alg1" or "warm_start".
+  std::size_t repetitions = 0;
+  double median_ms = 0.0;
+  double mean_ms = 0.0;
+  double stddev_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  /// Standard error of the mean divided by the mean (0 when mean is 0) —
+  /// how well-converged the measurement was.
+  double rel_stderr = 0.0;
+  /// Workload-dependent correctness anchor (e.g. achieved solve utility).
+  /// Deterministic for a fixed seed, so comparing reports can assert the
+  /// two runs solved identical problems identically.
+  double check = 0.0;
+  /// Deterministic obs counter snapshot from one extra profiled run
+  /// (counters only — timers and histograms are wall-clock dependent).
+  support::JsonValue counters = support::JsonValue(support::JsonValue::Object{});
+};
+
+/// One full benchmark run.
+struct Report {
+  std::int64_t schema_version = kSchemaVersion;
+  std::string host;
+  std::string date_utc;  ///< YYYY-MM-DD.
+  std::string git_sha;
+  std::string compiler;
+  std::string build_type;
+  std::string suite;  ///< "quick" or "full".
+  std::uint64_t seed = 0;
+  std::vector<CaseResult> cases;
+};
+
+/// Serializes in a fixed member order (stable diffs for committed files).
+[[nodiscard]] support::JsonValue report_to_json(const Report& report);
+
+/// Validates then decodes; throws std::runtime_error with the
+/// validate_report_json() message on invalid input.
+[[nodiscard]] Report report_from_json(const support::JsonValue& json);
+
+/// Structural validation: returns "" when `json` is a well-formed report,
+/// else a one-line description of the first problem found.
+[[nodiscard]] std::string validate_report_json(const support::JsonValue& json);
+
+}  // namespace aa::benchkit

@@ -1,0 +1,65 @@
+#include "benchkit/runner.hpp"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "obs/session.hpp"
+#include "support/stats.hpp"
+
+namespace aa::benchkit {
+
+CaseResult run_case(std::string name, std::string group,
+                    const std::function<double()>& body,
+                    const RunnerOptions& options) {
+  using Clock = std::chrono::steady_clock;
+
+  for (std::size_t i = 0; i < options.warmup_reps; ++i) {
+    static_cast<void>(body());
+  }
+
+  support::RunningStats stats;
+  std::vector<double> samples;
+  samples.reserve(options.max_reps);
+  const Clock::time_point budget_start = Clock::now();
+  while (samples.size() < options.max_reps) {
+    const Clock::time_point start = Clock::now();
+    static_cast<void>(body());
+    const Clock::time_point stop = Clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    samples.push_back(ms);
+    stats.add(ms);
+    if (samples.size() < options.min_reps) continue;
+    if (stats.mean() > 0.0 &&
+        stats.stderr_mean() / stats.mean() <= options.target_rel_stderr) {
+      break;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - budget_start).count();
+    if (elapsed > options.max_case_seconds) break;
+  }
+
+  CaseResult result;
+  result.name = std::move(name);
+  result.group = std::move(group);
+  result.repetitions = samples.size();
+  result.median_ms = support::quantile(samples, 0.5);
+  result.mean_ms = stats.mean();
+  result.stddev_ms = stats.stddev();
+  result.min_ms = stats.min();
+  result.max_ms = stats.max();
+  result.rel_stderr =
+      stats.mean() > 0.0 ? stats.stderr_mean() / stats.mean() : 0.0;
+
+  // Profiled pass: untimed, under a session, so counters reflect exactly
+  // one run and the timed samples above stayed instrumentation-free.
+  {
+    obs::Session session;
+    result.check = body();
+    result.counters = session.metrics().counters_json();
+  }
+  return result;
+}
+
+}  // namespace aa::benchkit

@@ -1,0 +1,42 @@
+#pragma once
+
+// Adaptive benchmark-case runner for tools/aa_bench.
+//
+// run_case() times a callable repeatedly until the mean converges (relative
+// standard error below target), bounded by a rep ceiling and a wall-clock
+// budget, then runs one extra *untimed* pass under an obs::Session to
+// snapshot the deterministic solver counters — instrumentation overhead
+// never contaminates the timed reps, and timed reps never pay for a live
+// session. The callable returns a deterministic check value (e.g. the
+// achieved solve utility) recorded on the CaseResult so baseline
+// comparisons can verify both runs solved the same problem identically
+// (compare.hpp).
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "benchkit/report.hpp"
+
+namespace aa::benchkit {
+
+struct RunnerOptions {
+  std::size_t min_reps = 5;    ///< Always measure at least this many.
+  std::size_t max_reps = 100;  ///< Hard rep ceiling.
+  /// Stop once stderr(mean)/mean drops below this (after min_reps).
+  double target_rel_stderr = 0.02;
+  /// Per-case wall-clock budget (timed reps only); stops early even if the
+  /// target relative error was not reached.
+  double max_case_seconds = 2.0;
+  std::size_t warmup_reps = 1;  ///< Untimed warm-up passes.
+};
+
+/// Measures `body` per the options above. The returned CaseResult carries
+/// the timing summary (median via support::quantile), the check value and
+/// counter snapshot from the profiled pass, and rel_stderr actually
+/// achieved.
+[[nodiscard]] CaseResult run_case(std::string name, std::string group,
+                                  const std::function<double()>& body,
+                                  const RunnerOptions& options = {});
+
+}  // namespace aa::benchkit

@@ -25,9 +25,9 @@ namespace aa::obs::metric {
 // aa-lint-section: counters
 // Deterministic for a deterministic solve — golden-testable.
 
+inline constexpr std::string_view kAlg1CandidateEvaluations =
+    "alg1/candidate_evaluations";
 inline constexpr std::string_view kAlg1FullPicks = "alg1/full_picks";
-inline constexpr std::string_view kAlg1PairEvaluations =
-    "alg1/pair_evaluations";
 inline constexpr std::string_view kAlg1Solves = "alg1/solves";
 inline constexpr std::string_view kAlg1UnfullPicks = "alg1/unfull_picks";
 inline constexpr std::string_view kAlg2Solves = "alg2/solves";
@@ -72,8 +72,8 @@ inline constexpr std::string_view kSvcWarmCertificateRejects =
     "svc/warm_certificate_rejects";
 
 inline constexpr std::string_view kAllCounters[] = {
+    kAlg1CandidateEvaluations,
     kAlg1FullPicks,
-    kAlg1PairEvaluations,
     kAlg1Solves,
     kAlg1UnfullPicks,
     kAlg2Solves,

@@ -147,6 +147,23 @@ TEST(AaLint, IncludeStyleViolationsAreFlagged) {
       << result.output;
 }
 
+TEST(AaLint, OrphanedDocPageIsFlagged) {
+  const RunResult result = lint_fixture("doc_links", "doc-links");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  // Directly linked and transitively linked pages are fine; only the
+  // orphan is reported.
+  EXPECT_NE(result.output.find("docs/ORPHAN.md:0: [doc-links]"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("not reachable from README.md"),
+            std::string::npos)
+      << result.output;
+  EXPECT_EQ(result.output.find("LINKED.md:"), std::string::npos)
+      << result.output;
+  EXPECT_EQ(result.output.find("CHAINED.md:"), std::string::npos)
+      << result.output;
+}
+
 TEST(AaLint, UnknownCheckIsUsageError) {
   const RunResult result = lint_fixture("float_eq", "bogus-check");
   EXPECT_EQ(result.exit_code, 2) << result.output;

@@ -1,0 +1,327 @@
+// Benchmark report schema + comparator tests (src/benchkit), plus a smoke
+// test of the real aa_bench binary (path baked in via AA_BENCH_BIN): the
+// emitted BENCH_*.json must validate against the schema, round-trip through
+// support::json, and the --compare gate must fail regressions and honor
+// --warn-only.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "benchkit/compare.hpp"
+#include "benchkit/report.hpp"
+#include "benchkit/runner.hpp"
+#include "support/json.hpp"
+
+namespace aa {
+namespace {
+
+using benchkit::CaseDelta;
+using benchkit::CaseResult;
+using benchkit::CaseStatus;
+using benchkit::CompareOptions;
+using benchkit::CompareResult;
+using benchkit::Report;
+using support::JsonValue;
+
+CaseResult make_case(const std::string& name, double median_ms,
+                     double check = 1.0) {
+  CaseResult result;
+  result.name = name;
+  result.group = name.substr(0, name.find('/'));
+  result.repetitions = 10;
+  result.median_ms = median_ms;
+  result.mean_ms = median_ms;
+  result.stddev_ms = 0.01;
+  result.min_ms = median_ms * 0.9;
+  result.max_ms = median_ms * 1.1;
+  result.rel_stderr = 0.01;
+  result.check = check;
+  JsonValue counters{JsonValue::Object{}};
+  counters.set("alg1/solves", 1);
+  result.counters = std::move(counters);
+  return result;
+}
+
+Report make_report(std::vector<CaseResult> cases) {
+  Report report;
+  report.host = "testhost";
+  report.date_utc = "2026-08-07";
+  report.git_sha = "abc123def456";
+  report.compiler = "testc++ 1.0";
+  report.build_type = "Release";
+  report.suite = "quick";
+  report.seed = 42;
+  report.cases = std::move(cases);
+  return report;
+}
+
+const CaseDelta& delta_named(const CompareResult& result,
+                             const std::string& name) {
+  for (const CaseDelta& delta : result.deltas) {
+    if (delta.name == name) return delta;
+  }
+  ADD_FAILURE() << "no delta named " << name;
+  static const CaseDelta kEmpty;
+  return kEmpty;
+}
+
+TEST(BenchReport, RoundTripsThroughJson) {
+  const Report report =
+      make_report({make_case("alg1/solve/n64", 0.5, 123.25),
+                   make_case("alg2/solve/n64", 0.25, 123.25)});
+  const std::string text = benchkit::report_to_json(report).dump(2);
+  const Report back = benchkit::report_from_json(support::json_parse(text));
+
+  EXPECT_EQ(back.schema_version, benchkit::kSchemaVersion);
+  EXPECT_EQ(back.host, report.host);
+  EXPECT_EQ(back.date_utc, report.date_utc);
+  EXPECT_EQ(back.git_sha, report.git_sha);
+  EXPECT_EQ(back.compiler, report.compiler);
+  EXPECT_EQ(back.build_type, report.build_type);
+  EXPECT_EQ(back.suite, report.suite);
+  EXPECT_EQ(back.seed, report.seed);
+  ASSERT_EQ(back.cases.size(), 2u);
+  EXPECT_EQ(back.cases[0].name, "alg1/solve/n64");
+  EXPECT_EQ(back.cases[0].group, "alg1");
+  EXPECT_EQ(back.cases[0].repetitions, 10u);
+  EXPECT_DOUBLE_EQ(back.cases[0].median_ms, 0.5);
+  EXPECT_DOUBLE_EQ(back.cases[0].check, 123.25);
+  EXPECT_EQ(back.cases[0].counters.at("alg1/solves").as_int(), 1);
+}
+
+TEST(BenchReport, ValidateCatchesStructuralProblems) {
+  const Report report = make_report({make_case("alg1/solve/n64", 0.5)});
+  JsonValue good = benchkit::report_to_json(report);
+  EXPECT_EQ(benchkit::validate_report_json(good), "");
+
+  EXPECT_EQ(benchkit::validate_report_json(JsonValue("nope")),
+            "report: not an object");
+
+  {
+    JsonValue json = good;
+    json.set("schema_version", benchkit::kSchemaVersion + 1);
+    EXPECT_NE(benchkit::validate_report_json(json).find(
+                  "unsupported schema_version"),
+              std::string::npos);
+  }
+  {
+    JsonValue::Object object;
+    for (const auto& [key, value] : good.as_object()) {
+      if (key != "host") object.emplace_back(key, value);
+    }
+    EXPECT_EQ(benchkit::validate_report_json(JsonValue(std::move(object))),
+              "report: missing field 'host'");
+  }
+  {
+    JsonValue json = good;
+    json.set("seed", "not-a-number");
+    EXPECT_EQ(benchkit::validate_report_json(json),
+              "report: field 'seed' is not a number");
+  }
+  {
+    Report broken = make_report({make_case("alg1/solve/n64", 0.5),
+                                 make_case("alg1/solve/n64", 0.7)});
+    EXPECT_NE(benchkit::validate_report_json(benchkit::report_to_json(broken))
+                  .find("duplicate case name"),
+              std::string::npos);
+  }
+  {
+    Report broken = make_report({make_case("alg1/solve/n64", 0.5)});
+    broken.cases[0].repetitions = 0;
+    EXPECT_EQ(benchkit::validate_report_json(benchkit::report_to_json(broken)),
+              "cases[0]: field 'repetitions' must be >= 1");
+  }
+
+  EXPECT_THROW(static_cast<void>(
+                   benchkit::report_from_json(JsonValue(JsonValue::Object{}))),
+               std::runtime_error);
+}
+
+TEST(BenchCompare, ClassifiesWithinAndBeyondThreshold) {
+  const Report baseline = make_report({make_case("a/x", 1.0),
+                                       make_case("b/x", 1.0),
+                                       make_case("c/x", 1.0)});
+  const Report current = make_report({make_case("a/x", 1.05),
+                                      make_case("b/x", 1.2),
+                                      make_case("c/x", 0.5)});
+  const CompareResult result = benchkit::compare_reports(baseline, current);
+
+  EXPECT_EQ(delta_named(result, "a/x").status, CaseStatus::kOk);
+  EXPECT_EQ(delta_named(result, "b/x").status, CaseStatus::kRegressed);
+  EXPECT_EQ(delta_named(result, "c/x").status, CaseStatus::kImproved);
+  EXPECT_EQ(result.regressions, 1u);
+  EXPECT_EQ(result.improvements, 1u);
+  EXPECT_FALSE(result.ok());
+
+  const std::string table = benchkit::format_compare(result);
+  EXPECT_NE(table.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(table.find("FAIL"), std::string::npos);
+}
+
+TEST(BenchCompare, ExactlyAtThresholdPasses) {
+  // The gate is strictly greater than 1 + threshold: a case sitting exactly
+  // on the boundary must NOT count as a regression.
+  const Report baseline = make_report({make_case("a/x", 1.0)});
+  const Report current = make_report({make_case("a/x", 1.0 + 0.1)});
+  const CompareResult result = benchkit::compare_reports(baseline, current);
+  EXPECT_EQ(delta_named(result, "a/x").status, CaseStatus::kOk);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(BenchCompare, MissingAndRenamedCases) {
+  const Report baseline = make_report({make_case("a/x", 1.0),
+                                       make_case("old/name", 1.0)});
+  const Report current = make_report({make_case("a/x", 1.0),
+                                      make_case("new/name", 1.0)});
+  {
+    const CompareResult result = benchkit::compare_reports(baseline, current);
+    EXPECT_EQ(delta_named(result, "old/name").status,
+              CaseStatus::kMissingInCurrent);
+    EXPECT_EQ(delta_named(result, "new/name").status,
+              CaseStatus::kNewInCurrent);
+    EXPECT_TRUE(result.ok());  // Informational by default.
+  }
+  {
+    CompareOptions options;
+    options.require_all = true;
+    const CompareResult result =
+        benchkit::compare_reports(baseline, current, options);
+    EXPECT_EQ(result.regressions, 1u);  // The renamed-away baseline case.
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST(BenchCompare, ZeroBaselineWarnsWithoutFailing) {
+  const Report baseline = make_report({make_case("a/x", 0.0)});
+  const Report current = make_report({make_case("a/x", 5.0)});
+  const CompareResult result = benchkit::compare_reports(baseline, current);
+  EXPECT_EQ(delta_named(result, "a/x").status, CaseStatus::kZeroBaseline);
+  EXPECT_DOUBLE_EQ(delta_named(result, "a/x").ratio, 0.0);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(BenchCompare, CheckMismatchFailsEvenWhenFast) {
+  const Report baseline = make_report({make_case("a/x", 1.0, 10.0)});
+  const Report current = make_report({make_case("a/x", 0.5, 11.0)});
+  const CompareResult result = benchkit::compare_reports(baseline, current);
+  EXPECT_FALSE(delta_named(result, "a/x").check_matches);
+  EXPECT_EQ(result.check_mismatches, 1u);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(BenchRunner, ConvergesAndSnapshotsCounters) {
+  benchkit::RunnerOptions options;
+  options.min_reps = 3;
+  options.max_reps = 8;
+  options.warmup_reps = 1;
+  int calls = 0;
+  const CaseResult result = benchkit::run_case(
+      "unit/body", "unit",
+      [&calls] {
+        ++calls;
+        return 7.5;
+      },
+      options);
+  EXPECT_EQ(result.name, "unit/body");
+  EXPECT_GE(result.repetitions, options.min_reps);
+  EXPECT_LE(result.repetitions, options.max_reps);
+  // warmup + timed reps + one profiled pass.
+  EXPECT_EQ(static_cast<std::size_t>(calls), result.repetitions + 2);
+  EXPECT_DOUBLE_EQ(result.check, 7.5);
+  EXPECT_GE(result.median_ms, 0.0);
+  EXPECT_TRUE(result.counters.is_object());
+}
+
+// -- aa_bench binary ---------------------------------------------------------
+
+struct CommandResult {
+  int status = -1;
+  std::string output;
+};
+
+CommandResult run_command(const std::string& command) {
+  CommandResult result;
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  std::size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof buffer, pipe)) > 0) {
+    result.output.append(buffer, read);
+  }
+  const int status = ::pclose(pipe);
+  result.status = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+constexpr const char* kBench = AA_BENCH_BIN;
+
+TEST(AaBenchBinary, ListsSuiteCases) {
+  const CommandResult result =
+      run_command(std::string(kBench) + " --list 1 2>/dev/null");
+  ASSERT_EQ(result.status, 0);
+  std::size_t lines = 0;
+  for (const char ch : result.output) lines += ch == '\n' ? 1 : 0;
+  EXPECT_GE(lines, 8u);
+  EXPECT_NE(result.output.find("alg1/solve/"), std::string::npos);
+  EXPECT_NE(result.output.find("alg1_reference/solve/"), std::string::npos);
+}
+
+TEST(AaBenchBinary, EmitsValidReportAndComparesIt) {
+  const std::string out = ::testing::TempDir() + "aa_bench_smoke.json";
+  const CommandResult run = run_command(
+      std::string(kBench) +
+      " --suite quick --filter alg2/solve/n64 --min-reps 2 --max-reps 3"
+      " --out " + out + " 2>/dev/null");
+  ASSERT_EQ(run.status, 0) << run.output;
+
+  std::ifstream in(out);
+  const std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  const JsonValue json = support::json_parse(text);
+  EXPECT_EQ(benchkit::validate_report_json(json), "");
+  const Report report = benchkit::report_from_json(json);
+  ASSERT_EQ(report.cases.size(), 1u);
+  EXPECT_EQ(report.cases[0].name, "alg2/solve/n64_m8_c1000");
+  EXPECT_GT(report.cases[0].check, 0.0);
+  // The profiled pass ran exactly one alg2 solve under the session.
+  EXPECT_EQ(report.cases[0].counters.at("alg2/solves").as_int(), 1);
+
+  // Self-compare: identical medians are never a regression.
+  const CommandResult same = run_command(
+      std::string(kBench) + " --compare " + out + " " + out + " 2>/dev/null");
+  EXPECT_EQ(same.status, 0) << same.output;
+
+  // Doctored baseline with halved medians: current regresses, --warn-only
+  // downgrades the failure to exit 0.
+  Report doctored = report;
+  doctored.cases[0].median_ms = report.cases[0].median_ms / 4.0;
+  const std::string doctored_path =
+      ::testing::TempDir() + "aa_bench_doctored.json";
+  {
+    std::ofstream file(doctored_path);
+    file << benchkit::report_to_json(doctored).dump(2) << "\n";
+  }
+  const CommandResult regressed = run_command(
+      std::string(kBench) + " --compare " + doctored_path + " " + out +
+      " 2>/dev/null");
+  EXPECT_EQ(regressed.status, 1) << regressed.output;
+  EXPECT_NE(regressed.output.find("REGRESSED"), std::string::npos);
+  const CommandResult warned = run_command(
+      std::string(kBench) + " --compare " + doctored_path + " " + out +
+      " --warn-only 1 2>/dev/null");
+  EXPECT_EQ(warned.status, 0) << warned.output;
+
+  // Unreadable baseline path is a usage/input error, not a regression.
+  const CommandResult missing = run_command(
+      std::string(kBench) + " --compare /nonexistent/base.json " + out +
+      " 2>/dev/null");
+  EXPECT_EQ(missing.status, 2);
+}
+
+}  // namespace
+}  // namespace aa

@@ -36,6 +36,11 @@
 //                    resolve under src/ (no "../", no <aa/...>, no
 //                    <bits/...>), and every header starts with
 //                    #pragma once.
+//   doc-links        every docs/*.md page is reachable from README.md by
+//                    following markdown links (a page mentioning another
+//                    page's path or filename counts as a link, root-level
+//                    *.md pages may serve as intermediate hops), so no
+//                    documentation page can silently orphan.
 //
 // A violation on a specific line can be waived by appending the comment
 //   // aa-lint: allow(<check>)
@@ -264,6 +269,27 @@ class Linter {
         file.line_starts = index_lines(file.raw);
         files_.push_back(std::move(file));
       }
+    }
+    // Root-level markdown (README.md, CONTRIBUTING.md, ...): the doc-links
+    // graph starts at README.md and may hop through these pages.
+    for (const auto& entry : fs::directory_iterator(root_)) {
+      if (!entry.is_regular_file()) continue;
+      if (entry.path().extension().string() != ".md") continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      if (!in) {
+        std::cerr << "aa_lint: cannot read "
+                  << entry.path().filename().string() << "\n";
+        io_failed_ = true;
+        return false;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      SourceFile file;
+      file.rel = fs::relative(entry.path(), root_).generic_string();
+      file.raw = text.str();
+      file.masked = file.raw;
+      file.line_starts = index_lines(file.raw);
+      files_.push_back(std::move(file));
     }
     std::sort(files_.begin(), files_.end(),
               [](const SourceFile& a, const SourceFile& b) {
@@ -768,6 +794,60 @@ class Linter {
     }
   }
 
+  // -- doc-links -----------------------------------------------------------
+
+  void check_doc_links() {
+    static const char* const kCheck = "doc-links";
+    std::vector<const SourceFile*> pages;
+    bool have_docs = false;
+    for (const SourceFile& file : files_) {
+      if (file.rel.size() < 3 ||
+          file.rel.substr(file.rel.size() - 3) != ".md") {
+        continue;
+      }
+      pages.push_back(&file);
+      have_docs = have_docs || file.rel.rfind("docs/", 0) == 0;
+    }
+    if (!have_docs) return;  // Nothing that needs to be reachable.
+
+    const SourceFile* readme = find("README.md");
+    if (readme == nullptr) {
+      report_global("README.md", kCheck,
+                    "docs/*.md pages exist but there is no README.md to "
+                    "anchor the link graph");
+      return;
+    }
+
+    /// A page links another when it mentions its root-relative path or, for
+    /// docs/ pages, its bare filename (relative links within docs/).
+    const auto links_to = [](const SourceFile& from, const SourceFile& to) {
+      if (from.raw.find(to.rel) != std::string::npos) return true;
+      const std::size_t slash = to.rel.rfind('/');
+      if (slash == std::string::npos) return false;
+      return from.raw.find(to.rel.substr(slash + 1)) != std::string::npos;
+    };
+
+    std::set<const SourceFile*> reachable{readme};
+    std::vector<const SourceFile*> frontier{readme};
+    while (!frontier.empty()) {
+      const SourceFile* from = frontier.back();
+      frontier.pop_back();
+      for (const SourceFile* to : pages) {
+        if (reachable.count(to) != 0 || !links_to(*from, *to)) continue;
+        reachable.insert(to);
+        frontier.push_back(to);
+      }
+    }
+
+    for (const SourceFile* page : pages) {
+      if (page->rel.rfind("docs/", 0) != 0) continue;  // Only docs/ must link.
+      if (reachable.count(page) != 0) continue;
+      report(*page, 0, kCheck,
+             "not reachable from README.md via markdown links — link it "
+             "from README.md or another reachable page");
+    }
+  }
+
  private:
   fs::path root_;
   bool verbose_ = false;
@@ -778,7 +858,7 @@ class Linter {
 
 constexpr std::string_view kKnownChecks[] = {
     "metric-literals", "metric-registry", "error-codes", "determinism",
-    "include-style",
+    "include-style", "doc-links",
 };
 
 int usage(int status) {
@@ -840,6 +920,7 @@ int main(int argc, char** argv) {
   if (checks.count("error-codes") != 0) linter.check_error_codes();
   if (checks.count("determinism") != 0) linter.check_determinism();
   if (checks.count("include-style") != 0) linter.check_include_style();
+  if (checks.count("doc-links") != 0) linter.check_doc_links();
 
   std::vector<Diagnostic> diagnostics = linter.diagnostics();
   std::sort(diagnostics.begin(), diagnostics.end(),
