@@ -39,6 +39,8 @@ class Search {
       for (std::size_t k = t; k < n; ++k) {
         suffix.push_back(instance.threads[order_[k]]);
       }
+      // Deliberately NOT routed through the strategy seam: pruning needs a
+      // true upper bound, and the price strategy's F can dip below F_hat.
       suffix_bound_[t] = alloc::super_optimal(suffix, instance.num_servers,
                                               instance.capacity)
                              .utility;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "alloc/allocator.hpp"
+#include "alloc/super_optimal.hpp"
 #include "utility/linearized.hpp"
 
 namespace aa::core {
@@ -90,7 +91,7 @@ SolveResult solve_algorithm2_hetero(const HeteroInstance& instance) {
 
   // Pooled super-optimal bound: sum of allocations <= total capacity, each
   // thread bounded by the largest single server it could land on.
-  const alloc::AllocationResult so = alloc::allocate_bisection(
+  const alloc::AllocationResult so = alloc::allocate_pooled_routed(
       instance.threads, instance.total_capacity(), instance.max_capacity());
   const std::vector<util::Linearized> linearized =
       util::linearize(instance.threads, so.amounts);

@@ -150,7 +150,7 @@ MultiSolveResult solve_algorithm2_multi(const MultiInstance& instance) {
       parts.push_back(thread.parts[r]);
     }
     const alloc::SuperOptimalResult so =
-        alloc::super_optimal(parts, m, instance.capacities[r]);
+        alloc::super_optimal_routed(parts, m, instance.capacities[r]);
     f_hat += so.utility;
     for (std::size_t i = 0; i < n; ++i) c_hat[i][r] = so.c_hat[i];
   }

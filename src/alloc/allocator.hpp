@@ -30,6 +30,10 @@
 
 #include "utility/utility_function.hpp"
 
+namespace aa::support {
+class ThreadPool;
+}  // namespace aa::support
+
 namespace aa::alloc {
 
 struct AllocationResult {
@@ -57,5 +61,33 @@ inline constexpr util::Resource kNoCap =
 [[nodiscard]] AllocationResult allocate_dp_exact(
     std::span<const util::UtilityPtr> threads, util::Resource pool,
     util::Resource per_thread_cap = kNoCap);
+
+/// Exact threshold bisection restructured around structure-of-arrays
+/// marginal grids (raw tabulated grids where available) with per-thread
+/// unit-bracket narrowing, optionally fanning the per-lambda probes across
+/// `workers` via support::parallel_chunked_reduce. Every reduced quantity is
+/// an integer count or an exact max, and the chunk decomposition depends only
+/// on n, so the result is bit-identical to allocate_bisection for every
+/// input and every worker count (nullptr runs all probes on the caller).
+[[nodiscard]] AllocationResult allocate_bisection_soa(
+    std::span<const util::UtilityPtr> threads, util::Resource pool,
+    util::Resource per_thread_cap = kNoCap,
+    support::ThreadPool* workers = nullptr);
+
+/// Single-price variant (price discovery in the style of Agrawal/Boyd et
+/// al.): the same dual bisection, but it stops once the price bracket is
+/// narrower than `price_tol * (1 + max_marginal)` instead of running to
+/// machine precision. The allocation is always feasible for the pooled
+/// problem, so its utility never exceeds the exact optimum F_hat, and the
+/// shortfall is bounded by the unresolved plateau sliver:
+///
+///   utility >= F_hat - price_tol * (1 + max_marginal) * pool
+///
+/// (up to float rounding in the final summation). NOT a valid upper bound
+/// on F_hat, so branch-and-bound pruning must keep using the exact paths.
+[[nodiscard]] AllocationResult allocate_price(
+    std::span<const util::UtilityPtr> threads, util::Resource pool,
+    util::Resource per_thread_cap = kNoCap, double price_tol = 1e-9,
+    support::ThreadPool* workers = nullptr);
 
 }  // namespace aa::alloc

@@ -54,7 +54,13 @@ inline constexpr std::string_view kObsTraceDropped = "obs/trace_dropped";
 inline constexpr std::string_view kRefineServersReoptimized =
     "refine/servers_reoptimized";
 inline constexpr std::string_view kRefineSolves = "refine/solves";
+inline constexpr std::string_view kSuperOptimalBisectIterations =
+    "super_optimal/bisect_iterations";
 inline constexpr std::string_view kSuperOptimalCalls = "super_optimal/calls";
+inline constexpr std::string_view kSuperOptimalParallelCalls =
+    "super_optimal/parallel_calls";
+inline constexpr std::string_view kSuperOptimalPriceCalls =
+    "super_optimal/price_calls";
 inline constexpr std::string_view kSuperOptimalThreads =
     "super_optimal/threads";
 inline constexpr std::string_view kSvcBatches = "svc/batches";
@@ -93,7 +99,10 @@ inline constexpr std::string_view kAllCounters[] = {
     kObsTraceDropped,
     kRefineServersReoptimized,
     kRefineSolves,
+    kSuperOptimalBisectIterations,
     kSuperOptimalCalls,
+    kSuperOptimalParallelCalls,
+    kSuperOptimalPriceCalls,
     kSuperOptimalThreads,
     kSvcBatches,
     kSvcErrors,
@@ -126,6 +135,10 @@ inline constexpr std::string_view kPhaseExperimentRunPoint =
 inline constexpr std::string_view kPhaseLinearize = "linearize";
 inline constexpr std::string_view kPhaseRefineReoptimize = "refine/reoptimize";
 inline constexpr std::string_view kPhaseSuperOptimal = "super_optimal";
+inline constexpr std::string_view kPhaseSuperOptimalParallel =
+    "super_optimal/parallel";
+inline constexpr std::string_view kPhaseSuperOptimalPrice =
+    "super_optimal/price";
 inline constexpr std::string_view kPhaseSvcBatch = "svc/batch";
 inline constexpr std::string_view kPhaseSvcSolve = "svc/solve";
 
@@ -141,6 +154,8 @@ inline constexpr std::string_view kAllTimers[] = {
     kPhaseLinearize,
     kPhaseRefineReoptimize,
     kPhaseSuperOptimal,
+    kPhaseSuperOptimalParallel,
+    kPhaseSuperOptimalPrice,
     kPhaseSvcBatch,
     kPhaseSvcSolve,
 };

@@ -36,6 +36,15 @@ class UtilityFunction {
   /// Marginal gain of the k-th unit: f(k) - f(k-1), for k in [1, capacity()].
   /// Nonincreasing in k for concave functions (the allocators rely on this).
   [[nodiscard]] virtual double marginal(Resource k) const;
+
+  /// Raw value grid f(0..capacity()) when the representation stores one
+  /// (TabulatedUtility), else nullptr. The allocator's structure-of-arrays
+  /// fast path (alloc/bisection_soa.cpp) reads marginals straight off the
+  /// grid — grid[k] - grid[k-1] must equal marginal(k) bit-for-bit — so a
+  /// non-null return is a strict promise, not a hint.
+  [[nodiscard]] virtual const double* tabulated_grid() const noexcept {
+    return nullptr;
+  }
 };
 
 /// Shared, immutable handle used throughout the library.
@@ -190,6 +199,9 @@ class TabulatedUtility final : public UtilityFunction {
   [[nodiscard]] double marginal(Resource k) const override;
   [[nodiscard]] std::span<const double> grid() const noexcept {
     return values_;
+  }
+  [[nodiscard]] const double* tabulated_grid() const noexcept override {
+    return values_.data();
   }
 
  private:

@@ -10,7 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <tuple>
 
 #include "aa/algorithm1.hpp"
@@ -18,6 +21,7 @@
 #include "aa/certify.hpp"
 #include "aa/exact.hpp"
 #include "aa/refine.hpp"
+#include "alloc/super_optimal.hpp"
 #include "obs/session.hpp"
 #include "support/prng.hpp"
 #include "utility/generator.hpp"
@@ -113,6 +117,98 @@ TEST_P(CertificateProperty, CorruptedResultFailsCertification) {
   const obs::Certificate lied = certify(instance, lying, "corrupted");
   EXPECT_FALSE(lied.alpha_ok);
   EXPECT_FALSE(lied.ok());
+}
+
+/// Scoped override of the process-wide super-optimal strategy; restores the
+/// previous default on destruction so test order never leaks state.
+class ScopedStrategy {
+ public:
+  explicit ScopedStrategy(alloc::SuperOptimalStrategy strategy,
+                          double price_tolerance = 1e-9)
+      : saved_(alloc::default_super_optimal_options()) {
+    alloc::SuperOptimalOptions options;
+    options.strategy = strategy;
+    options.price_tolerance = price_tolerance;
+    alloc::set_default_super_optimal_options(options);
+  }
+  ~ScopedStrategy() { alloc::set_default_super_optimal_options(saved_); }
+  ScopedStrategy(const ScopedStrategy&) = delete;
+  ScopedStrategy& operator=(const ScopedStrategy&) = delete;
+
+ private:
+  alloc::SuperOptimalOptions saved_;
+};
+
+TEST_P(CertificateProperty, PriceStrategyHonorsItsToleranceContract) {
+  // The documented allocate_price contract: the price allocation is pooled-
+  // feasible (so F_price never exceeds the exact F_hat), and the shortfall
+  // is at most price_tol * (1 + max marginal) * pool. Checked at the default
+  // tolerance and at a deliberately loose one, so the bound is exercised
+  // where the two paths genuinely diverge.
+  const Instance instance = make_instance();
+  const alloc::SuperOptimalResult exact_so = alloc::super_optimal(
+      instance.threads, instance.num_servers, instance.capacity);
+  double max_marginal = 0.0;
+  for (const auto& thread : instance.threads) {
+    if (thread->capacity() >= 1) {
+      max_marginal = std::max(max_marginal, thread->marginal(1));
+    }
+  }
+  const double pool = static_cast<double>(instance.num_servers) *
+                      static_cast<double>(instance.capacity);
+  for (const double tol : {1e-9, 1e-4, 1e-2}) {
+    SCOPED_TRACE("price_tol=" + std::to_string(tol));
+    const alloc::SuperOptimalResult price = alloc::super_optimal_price(
+        instance.threads, instance.num_servers, instance.capacity, tol);
+    const double slack = 1e-12 * (1.0 + exact_so.utility);
+    EXPECT_LE(price.utility, exact_so.utility + slack);
+    const double bound = tol * (1.0 + max_marginal) * pool;
+    EXPECT_GE(price.utility, exact_so.utility - bound - slack);
+    // The price allocation must itself be pooled-feasible and capped.
+    Resource pooled_sum = 0;
+    for (std::size_t i = 0; i < price.c_hat.size(); ++i) {
+      EXPECT_LE(price.c_hat[i], instance.capacity);
+      pooled_sum += price.c_hat[i];
+    }
+    EXPECT_LE(static_cast<double>(pooled_sum), pool);
+  }
+}
+
+TEST_P(CertificateProperty, SolversCertifyUnderEveryStrategy) {
+  // Routing alg1/alg2 through the parallel or price strategy must leave
+  // every downstream certificate passing: parallel is bit-identical, and
+  // the price tolerance (1e-9 relative scale) sits far inside the
+  // certificate's 1e-7 comparison tolerance.
+  const Instance instance = make_instance();
+  for (const alloc::SuperOptimalStrategy strategy :
+       {alloc::SuperOptimalStrategy::kParallel,
+        alloc::SuperOptimalStrategy::kPrice}) {
+    SCOPED_TRACE(std::string("strategy=") +
+                 std::string(alloc::super_optimal_strategy_name(strategy)));
+    const ScopedStrategy scoped(strategy);
+    const struct {
+      const char* name;
+      SolveResult result;
+    } runs[] = {
+        {"algorithm2", solve_algorithm2(instance)},
+        {"algorithm2_refined", solve_algorithm2_refined(instance)},
+        {"algorithm1_refined", solve_algorithm1_refined(instance)},
+    };
+    for (const auto& run : runs) {
+      const obs::Certificate cert = certify(instance, run.result, run.name);
+      EXPECT_TRUE(cert.ok()) << run.name << ": " << cert.to_json().dump(2);
+      // The 0.828 guarantee holds against the strategy's own bound ...
+      EXPECT_GE(run.result.utility, kApproximationRatio *
+                                            run.result.super_optimal_utility -
+                                        1e-9 * (1.0 + run.result.utility));
+    }
+    // ... and against the true optimum, up to the certificate tolerance
+    // (the price bound at tol=1e-9 is far below it on these shapes).
+    const ExactResult exact = solve_exact(instance);
+    const SolveResult refined = solve_algorithm2_refined(instance);
+    EXPECT_GE(refined.utility, kApproximationRatio * exact.utility -
+                                   1e-6 * (1.0 + exact.utility));
+  }
 }
 
 TEST_P(CertificateProperty, SolversRecordCertificatesOnTheSession) {

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace aa::support {
@@ -85,6 +87,127 @@ TEST(ParallelFor, MoreWorkersThanItems) {
   std::atomic<int> counter{0};
   parallel_for(pool, 0, 3, [&](std::size_t) { ++counter; });
   EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ParallelFor, PoolStaysUsableAfterBodyException) {
+  // A propagated exception must leave the pool fully drained and healthy:
+  // no worker may still be touching the dead frame, and later waves must
+  // run normally on the same pool.
+  ThreadPool pool(4);
+  for (int wave = 0; wave < 3; ++wave) {
+    EXPECT_THROW(
+        parallel_for(pool, 0, 200,
+                     [](std::size_t i) {
+                       if (i % 50 == 13) throw std::runtime_error("boom");
+                     }),
+        std::runtime_error);
+    std::atomic<int> counter{0};
+    parallel_for(pool, 0, 100, [&](std::size_t) { ++counter; });
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPool, ReuseAcrossManySubmissionWaves) {
+  // Interleaves bare submits and parallel_for sweeps on one pool; every
+  // wave must fully complete before the next is issued.
+  ThreadPool pool(3);
+  long long expected = 0;
+  std::atomic<long long> total{0};
+  for (int wave = 0; wave < 20; ++wave) {
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 10; ++i) {
+      futures.push_back(pool.submit([&total, wave] { total += wave; }));
+      expected += wave;
+    }
+    for (auto& f : futures) f.get();
+    std::atomic<int> hits{0};
+    parallel_for(pool, 0, 64, [&](std::size_t) { ++hits; });
+    EXPECT_EQ(hits.load(), 64);
+  }
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(ChunkedReduce, SumsEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  const long long total = parallel_chunked_reduce(
+      pool, std::size_t{0}, std::size_t{1000}, std::size_t{37}, 0LL,
+      [](std::size_t lo, std::size_t hi) {
+        long long part = 0;
+        for (std::size_t i = lo; i < hi; ++i) part += static_cast<long long>(i);
+        return part;
+      },
+      [](long long acc, long long part) { return acc + part; });
+  EXPECT_EQ(total, 999LL * 1000 / 2);
+}
+
+TEST(ChunkedReduce, EmptyRangeReturnsInit) {
+  ThreadPool pool(2);
+  const int value = parallel_chunked_reduce(
+      pool, std::size_t{9}, std::size_t{9}, std::size_t{8}, 42,
+      [](std::size_t, std::size_t) -> int {
+        ADD_FAILURE() << "must not run";
+        return 0;
+      },
+      [](int acc, int) { return acc; });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ChunkedReduce, DeterministicAcrossWorkerCountsForFloatSums) {
+  // The order-independence claim the allocation fast paths lean on: chunk
+  // boundaries and fold order depend only on (range, chunk_size), so even a
+  // non-associative floating-point sum is bit-identical for every pool
+  // size. Values spanning 14 orders of magnitude make any reordering of the
+  // fold visible in the low bits.
+  std::vector<double> values(10000);
+  double scale = 1e-7;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = scale * static_cast<double>(i % 997 + 1);
+    scale = scale > 1e7 ? 1e-7 : scale * 1.01;
+  }
+  const auto reduce_with = [&](std::size_t workers) {
+    ThreadPool pool(workers);
+    return parallel_chunked_reduce(
+        pool, std::size_t{0}, values.size(), std::size_t{256}, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+          double part = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) part += values[i];
+          return part;
+        },
+        [](double acc, double part) { return acc + part; });
+  };
+  const double reference = reduce_with(1);
+  for (const std::size_t workers : {2UL, 3UL, 4UL, 8UL}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    EXPECT_EQ(reduce_with(workers), reference);
+  }
+}
+
+TEST(ChunkedReduce, PropagatesFirstExceptionInChunkOrderAndStaysUsable) {
+  ThreadPool pool(4);
+  const auto failing = [&] {
+    return parallel_chunked_reduce(
+        pool, std::size_t{0}, std::size_t{400}, std::size_t{50}, 0,
+        [](std::size_t lo, std::size_t) -> int {
+          if (lo == 100) throw std::runtime_error("chunk at 100");
+          if (lo == 300) throw std::logic_error("chunk at 300");
+          return 1;
+        },
+        [](int acc, int part) { return acc + part; });
+  };
+  // Chunk order, not completion order: the runtime_error from the earlier
+  // chunk wins even if the later chunk fails first on some schedule.
+  try {
+    (void)failing();
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "chunk at 100");
+  }
+  // And the pool is still healthy afterwards.
+  const int chunks = parallel_chunked_reduce(
+      pool, std::size_t{0}, std::size_t{400}, std::size_t{50}, 0,
+      [](std::size_t, std::size_t) { return 1; },
+      [](int acc, int part) { return acc + part; });
+  EXPECT_EQ(chunks, 8);
 }
 
 TEST(GlobalPool, IsSingletonAndUsable) {

@@ -147,6 +147,58 @@ std::vector<BenchCase> build_suite(std::uint64_t seed) {
          };
        }});
 
+  // Strategy-seam grid (docs/ALGORITHMS.md "Strategy seam"): the serial
+  // reference vs. the bit-identical SoA/parallel rewrite vs. price
+  // discovery, on the same instance per (n, C) so medians are directly
+  // comparable. n = 10^4 rides in the quick suite as the CI regression
+  // gate; 10^5 and 10^6 (smaller grids, or setup would dominate) belong to
+  // the full suite and back the committed-baseline speedup claims.
+  struct SoShape {
+    std::size_t n;
+    aa::util::Resource capacity;
+    bool quick;
+  };
+  const SoShape so_shapes[] = {
+      {10'000, 1000, true}, {100'000, 1000, false}, {1'000'000, 128, false}};
+  for (const SoShape& shape : so_shapes) {
+    const std::string suffix = "/n" + std::to_string(shape.n) + "_m8_c" +
+                               std::to_string(shape.capacity);
+    const auto make_threads = [shape, seed] {
+      aa::support::DistributionParams dist;
+      aa::support::Rng rng = aa::support::Rng::child(seed, shape.n);
+      return std::make_shared<const std::vector<aa::util::UtilityPtr>>(
+          aa::util::generate_utilities(shape.n, shape.capacity, dist, rng));
+    };
+    cases.push_back({"super_optimal_serial" + suffix, "super_optimal_serial",
+                     shape.quick, [make_threads, shape] {
+                       auto threads = make_threads();
+                       return [threads, shape] {
+                         return aa::alloc::super_optimal(*threads, 8,
+                                                         shape.capacity)
+                             .utility;
+                       };
+                     }});
+    cases.push_back({"super_optimal_parallel" + suffix,
+                     "super_optimal_parallel", shape.quick,
+                     [make_threads, shape] {
+                       auto threads = make_threads();
+                       return [threads, shape] {
+                         return aa::alloc::super_optimal_parallel(
+                                    *threads, 8, shape.capacity)
+                             .utility;
+                       };
+                     }});
+    cases.push_back({"super_optimal_price" + suffix, "super_optimal_price",
+                     shape.quick, [make_threads, shape] {
+                       auto threads = make_threads();
+                       return [threads, shape] {
+                         return aa::alloc::super_optimal_price(
+                                    *threads, 8, shape.capacity)
+                             .utility;
+                       };
+                     }});
+  }
+
   // Warm-start paths (svc/warm_start.hpp): one shared state per case; the
   // paths differ only in what happened since the previous solve.
   const auto make_warm_state = [seed] {

@@ -5,6 +5,7 @@
 //            [--batch-max B] [--batch-linger-ms L] [--deadline-ms D]
 //            [--max-queue Q] [--max-line-bytes N]
 //            [--hysteresis H] [--resolve-fraction F] [--resolve-min K]
+//            [--so-strategy serial|parallel|price] [--so-price-tol T]
 //            [--metrics FILE|-] [--trace-out FILE]
 //
 // Speaks line-delimited JSON (add_thread / remove_thread / update_utility /
@@ -19,6 +20,11 @@
 // than max(--resolve-min, --resolve-fraction * n) deltas accumulated. Every
 // solve reply carries its 0.828-approximation certificate verdict.
 //
+// --so-strategy routes every solve's super-optimal allocation through the
+// chosen implementation (docs/ALGORITHMS.md "Strategy seam"): serial
+// reference, bit-identical parallel SoA, or price discovery within
+// --so-price-tol of F_hat (default 1e-9; certificates stay valid).
+//
 // --metrics writes the aa::obs blob (svc/* counters, solve timings, and the
 // per-solve certificates) to FILE, or stdout with "-", at exit. --trace-out
 // writes the run's merged trace rings as a Chrome trace_event JSON document
@@ -32,6 +38,7 @@
 #include <memory>
 #include <string>
 
+#include "alloc/super_optimal.hpp"
 #include "io/instance_io.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/session.hpp"
@@ -69,17 +76,25 @@ int main(int argc, char** argv) {
         argc, argv,
         {"socket", "stdio", "servers", "capacity", "workers", "batch-max",
          "batch-linger-ms", "deadline-ms", "max-queue", "max-line-bytes",
-         "hysteresis", "resolve-fraction", "resolve-min", "metrics",
-         "trace-out"});
+         "hysteresis", "resolve-fraction", "resolve-min", "so-strategy",
+         "so-price-tol", "metrics", "trace-out"});
     if (!args.positional().empty()) {
       std::cerr << "usage: aa_serve [--socket PATH] [--stdio 1] "
                    "[--servers M] [--capacity C] [--workers W] "
                    "[--batch-max B] [--batch-linger-ms L] [--deadline-ms D] "
                    "[--max-queue Q] [--max-line-bytes N] [--hysteresis H] "
                    "[--resolve-fraction F] [--resolve-min K] "
+                   "[--so-strategy serial|parallel|price] [--so-price-tol T] "
                    "[--metrics FILE|-] [--trace-out FILE]\n";
       return 2;
     }
+    // Install the super-optimal strategy before any solver thread starts
+    // (the default is read un-synchronized on the hot path).
+    alloc::SuperOptimalOptions so_options;
+    so_options.strategy = alloc::parse_super_optimal_strategy(
+        args.get("so-strategy", "serial"));
+    so_options.price_tolerance = args.get_double("so-price-tol", 1e-9);
+    alloc::set_default_super_optimal_options(so_options);
     // Belt and braces next to MSG_NOSIGNAL: a client vanishing mid-reply
     // must never kill the server.
     std::signal(SIGPIPE, SIG_IGN);
