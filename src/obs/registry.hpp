@@ -73,6 +73,11 @@ inline constexpr std::string_view kSvcShutdowns = "svc/shutdowns";
 inline constexpr std::string_view kSvcSolveCached = "svc/solve_cached";
 inline constexpr std::string_view kSvcSolveFull = "svc/solve_full";
 inline constexpr std::string_view kSvcSolveWarm = "svc/solve_warm";
+inline constexpr std::string_view kSvcTenantCreates = "svc/tenant_creates";
+inline constexpr std::string_view kSvcTenantDeletes = "svc/tenant_deletes";
+inline constexpr std::string_view kSvcTenantRedivides =
+    "svc/tenant_redivides";
+inline constexpr std::string_view kSvcTenantUpdates = "svc/tenant_updates";
 inline constexpr std::string_view kSvcTimeouts = "svc/timeouts";
 inline constexpr std::string_view kSvcWarmCertificateRejects =
     "svc/warm_certificate_rejects";
@@ -114,6 +119,10 @@ inline constexpr std::string_view kAllCounters[] = {
     kSvcSolveCached,
     kSvcSolveFull,
     kSvcSolveWarm,
+    kSvcTenantCreates,
+    kSvcTenantDeletes,
+    kSvcTenantRedivides,
+    kSvcTenantUpdates,
     kSvcTimeouts,
     kSvcWarmCertificateRejects,
 };

@@ -1,0 +1,244 @@
+#include "svc/fairness.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace aa::svc {
+
+namespace {
+
+double total_weight(const std::vector<TenantDemand>& tenants) {
+  double total = 0.0;
+  for (const TenantDemand& tenant : tenants) total += tenant.weight;
+  return total;
+}
+
+/// Effective quotas: explicit where configured, weight-proportional where
+/// auto (0), then scaled down proportionally so they never oversubscribe
+/// the pool.
+std::vector<double> effective_quotas(
+    double pool, const std::vector<TenantDemand>& tenants) {
+  const double weights = total_weight(tenants);
+  std::vector<double> quotas;
+  quotas.reserve(tenants.size());
+  double requested = 0.0;
+  for (const TenantDemand& tenant : tenants) {
+    const double quota = tenant.quota > 0.0
+                             ? tenant.quota
+                             : pool * tenant.weight / weights;
+    quotas.push_back(quota);
+    requested += quota;
+  }
+  if (requested > pool && requested > 0.0) {
+    const double scale = pool / requested;
+    for (double& quota : quotas) quota *= scale;
+  }
+  return quotas;
+}
+
+class StaticQuotaPolicy final : public FairnessPolicy {
+ public:
+  [[nodiscard]] FairnessPolicyKind kind() const noexcept override {
+    return FairnessPolicyKind::kStaticQuota;
+  }
+
+  [[nodiscard]] std::vector<double> divide(
+      double pool, const std::vector<TenantDemand>& tenants) override {
+    if (tenants.empty()) return {};
+    return effective_quotas(pool, tenants);
+  }
+};
+
+class WeightedMaxMinPolicy final : public FairnessPolicy {
+ public:
+  [[nodiscard]] FairnessPolicyKind kind() const noexcept override {
+    return FairnessPolicyKind::kWeightedMaxMin;
+  }
+
+  [[nodiscard]] std::vector<double> divide(
+      double pool, const std::vector<TenantDemand>& tenants) override {
+    if (tenants.empty()) return {};
+    double total_demand = 0.0;
+    for (const TenantDemand& tenant : tenants) {
+      total_demand += tenant.demand;
+    }
+    std::vector<double> slices;
+    slices.reserve(tenants.size());
+    if (total_demand <= pool) {
+      // Every demand is met; spread the leftover by weight so tenants
+      // keep headroom to grow between division rounds.
+      const double leftover = pool - total_demand;
+      const double weights = total_weight(tenants);
+      for (const TenantDemand& tenant : tenants) {
+        slices.push_back(tenant.demand +
+                         leftover * tenant.weight / weights);
+      }
+      return slices;
+    }
+    const double level = water_fill_level(pool, tenants);
+    for (const TenantDemand& tenant : tenants) {
+      slices.push_back(std::min(tenant.demand, tenant.weight * level));
+    }
+    return slices;
+  }
+};
+
+class KarmaPolicy final : public FairnessPolicy {
+ public:
+  [[nodiscard]] FairnessPolicyKind kind() const noexcept override {
+    return FairnessPolicyKind::kKarma;
+  }
+
+  [[nodiscard]] std::vector<double> divide(
+      double pool, const std::vector<TenantDemand>& tenants) override {
+    if (tenants.empty()) return {};
+    const std::vector<double> quotas = effective_quotas(pool, tenants);
+
+    // Donors offer the share they cannot use; borrowers want the excess.
+    double supply = 0.0;
+    std::vector<double> surplus(tenants.size(), 0.0);
+    std::vector<std::size_t> borrowers;
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      const double spare = quotas[i] - tenants[i].demand;
+      if (spare > 0.0) {
+        surplus[i] = spare;
+        supply += spare;
+      } else if (spare < 0.0) {
+        borrowers.push_back(i);
+      }
+    }
+
+    // Richest borrowers first (Karma's credit priority), ties by tenant
+    // id for determinism; each takes min(need, credits, remaining supply).
+    std::sort(borrowers.begin(), borrowers.end(),
+              [&](std::size_t a, std::size_t b) {
+                const double ca = balance(tenants[a].id);
+                const double cb = balance(tenants[b].id);
+                if (ca != cb) return ca > cb;
+                return tenants[a].id < tenants[b].id;
+              });
+    std::vector<double> borrowed(tenants.size(), 0.0);
+    double lent = 0.0;
+    for (const std::size_t i : borrowers) {
+      const double need = tenants[i].demand - quotas[i];
+      const double grant =
+          std::min({need, balance(tenants[i].id), supply - lent});
+      if (grant <= 0.0) continue;
+      borrowed[i] = grant;
+      lent += grant;
+    }
+
+    // Settle: every borrowed unit costs one credit, paid to the donors
+    // pro rata by offered surplus. Payments equal earnings exactly, so
+    // divide() never changes the credit total.
+    std::vector<double> slices(quotas);
+    if (lent > 0.0) {
+      for (std::size_t i = 0; i < tenants.size(); ++i) {
+        if (borrowed[i] > 0.0) {
+          slices[i] += borrowed[i];
+          credits_[tenants[i].id] -= borrowed[i];
+        } else if (surplus[i] > 0.0) {
+          const double share = lent * surplus[i] / supply;
+          slices[i] -= share;
+          credits_[tenants[i].id] += share;
+        }
+      }
+    }
+    return slices;
+  }
+
+  void on_tenant_created(const std::string& id,
+                         double opening_credits) override {
+    credits_[id] = opening_credits;
+  }
+
+  void on_tenant_deleted(const std::string& id) override {
+    credits_.erase(id);
+  }
+
+  [[nodiscard]] double credits(const std::string& id) const override {
+    const auto it = credits_.find(id);
+    return it == credits_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  [[nodiscard]] double balance(const std::string& id) const {
+    return credits(id);
+  }
+
+  // Ordered map: credit iteration feeds allocation decisions and must be
+  // deterministic across runs.
+  std::map<std::string, double> credits_;
+};
+
+}  // namespace
+
+const char* fairness_policy_name(FairnessPolicyKind kind) noexcept {
+  switch (kind) {
+    case FairnessPolicyKind::kStaticQuota: return "static_quota";
+    case FairnessPolicyKind::kWeightedMaxMin: return "weighted_max_min";
+    case FairnessPolicyKind::kKarma: return "karma";
+  }
+  return "unknown";
+}
+
+std::optional<FairnessPolicyKind> fairness_policy_from_name(
+    std::string_view name) noexcept {
+  if (name == "static_quota") return FairnessPolicyKind::kStaticQuota;
+  if (name == "weighted_max_min") return FairnessPolicyKind::kWeightedMaxMin;
+  if (name == "karma") return FairnessPolicyKind::kKarma;
+  return std::nullopt;
+}
+
+void FairnessPolicy::on_tenant_created(const std::string& /*id*/,
+                                       double /*opening_credits*/) {}
+
+void FairnessPolicy::on_tenant_deleted(const std::string& /*id*/) {}
+
+double FairnessPolicy::credits(const std::string& /*id*/) const {
+  return 0.0;
+}
+
+std::unique_ptr<FairnessPolicy> FairnessPolicy::create(
+    FairnessPolicyKind kind) {
+  switch (kind) {
+    case FairnessPolicyKind::kStaticQuota:
+      return std::make_unique<StaticQuotaPolicy>();
+    case FairnessPolicyKind::kWeightedMaxMin:
+      return std::make_unique<WeightedMaxMinPolicy>();
+    case FairnessPolicyKind::kKarma:
+      return std::make_unique<KarmaPolicy>();
+  }
+  throw std::invalid_argument("unknown fairness policy kind");
+}
+
+double water_fill_level(double pool,
+                        const std::vector<TenantDemand>& tenants) {
+  // Saturate tenants in order of demand/weight; once the uniform level
+  // lambda = remaining / remaining_weight stops exceeding the next
+  // tenant's saturation ratio, everyone left shares at that level.
+  std::vector<std::size_t> order(tenants.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ra = tenants[a].demand / tenants[a].weight;
+    const double rb = tenants[b].demand / tenants[b].weight;
+    if (ra != rb) return ra < rb;
+    return tenants[a].id < tenants[b].id;
+  });
+  double remaining = pool;
+  double remaining_weight = total_weight(tenants);
+  double level = 0.0;
+  for (const std::size_t i : order) {
+    if (remaining_weight <= 0.0) break;
+    level = remaining / remaining_weight;
+    const double ratio = tenants[i].demand / tenants[i].weight;
+    if (level <= ratio) return level;
+    remaining -= tenants[i].demand;
+    remaining_weight -= tenants[i].weight;
+  }
+  return level;
+}
+
+}  // namespace aa::svc

@@ -7,13 +7,23 @@
 namespace aa::svc {
 
 InstanceState::InstanceState(std::size_t num_servers, util::Resource capacity)
-    : num_servers_(num_servers), capacity_(capacity) {
+    : num_servers_(num_servers),
+      capacity_(capacity),
+      solve_capacity_(capacity) {
   if (num_servers == 0) {
     throw std::invalid_argument("InstanceState: need at least one server");
   }
   if (capacity < 1) {
     throw std::invalid_argument("InstanceState: capacity must be >= 1");
   }
+}
+
+void InstanceState::set_solve_capacity(util::Resource solve_capacity) {
+  if (solve_capacity < 1) solve_capacity = 1;
+  if (solve_capacity > capacity_) solve_capacity = capacity_;
+  if (solve_capacity == solve_capacity_) return;
+  solve_capacity_ = solve_capacity;
+  ++version_;
 }
 
 std::optional<std::size_t> InstanceState::index_of(ThreadId id) const {
@@ -88,7 +98,7 @@ const util::UtilityPtr* InstanceState::find(ThreadId id) const {
 core::Instance InstanceState::to_instance(std::vector<ThreadId>* ids) const {
   core::Instance instance;
   instance.num_servers = num_servers_;
-  instance.capacity = capacity_;
+  instance.capacity = solve_capacity_;
   instance.threads.reserve(threads_.size());
   if (ids != nullptr) {
     ids->clear();

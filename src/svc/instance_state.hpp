@@ -35,6 +35,15 @@ class InstanceState {
     return num_servers_;
   }
   [[nodiscard]] util::Resource capacity() const noexcept { return capacity_; }
+
+  /// Per-server capacity snapshots actually solve with. Defaults to
+  /// capacity(); the multi-tenant fairness layer lowers it to the tenant's
+  /// pool slice (svc/fairness.hpp). Clamped to [1, capacity()]; a change
+  /// bumps the version so warm-start caches of the old slice are invalid.
+  [[nodiscard]] util::Resource solve_capacity() const noexcept {
+    return solve_capacity_;
+  }
+  void set_solve_capacity(util::Resource solve_capacity);
   [[nodiscard]] std::size_t num_threads() const noexcept {
     return threads_.size();
   }
@@ -80,6 +89,7 @@ class InstanceState {
 
   std::size_t num_servers_;
   util::Resource capacity_;
+  util::Resource solve_capacity_;
   std::vector<std::pair<ThreadId, util::UtilityPtr>> threads_;
   ThreadId next_id_ = 1;
   std::uint64_t version_ = 0;

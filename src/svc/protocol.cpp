@@ -16,6 +16,10 @@ Op op_from_name(const std::string& name) {
   if (name == "stats") return Op::kStats;
   if (name == "metrics") return Op::kMetrics;
   if (name == "shutdown") return Op::kShutdown;
+  if (name == "tenant_create") return Op::kTenantCreate;
+  if (name == "tenant_update") return Op::kTenantUpdate;
+  if (name == "tenant_delete") return Op::kTenantDelete;
+  if (name == "tenant_list") return Op::kTenantList;
   throw ProtocolError(error_code::kUnknownOp, "unknown op '" + name + "'");
 }
 
@@ -62,8 +66,23 @@ std::string_view op_name(Op op) noexcept {
     case Op::kStats: return "stats";
     case Op::kMetrics: return "metrics";
     case Op::kShutdown: return "shutdown";
+    case Op::kTenantCreate: return "tenant_create";
+    case Op::kTenantUpdate: return "tenant_update";
+    case Op::kTenantDelete: return "tenant_delete";
+    case Op::kTenantList: return "tenant_list";
   }
   return "unknown";
+}
+
+bool valid_tenant_id(std::string_view id) noexcept {
+  if (id.empty() || id.size() > 64) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
 }
 
 Request parse_request(std::string_view line, util::Resource capacity) {
@@ -104,6 +123,34 @@ Request parse_request(std::string_view line, util::Resource capacity) {
     } else if (key == "tag") {
       if (!value.is_string()) bad("'tag' must be a string");
       request.tag = value.as_string();
+    } else if (key == "tenant") {
+      if (!value.is_string() || !valid_tenant_id(value.as_string())) {
+        throw ProtocolError(error_code::kBadTenant,
+                            "'tenant' must be 1..64 chars of [A-Za-z0-9_.-]");
+      }
+      request.tenant = value.as_string();
+    } else if (key == "weight") {
+      if (!value.is_number()) bad("'weight' must be a number");
+      if (value.as_number() <= 0.0) bad("'weight' must be positive");
+      request.weight = value.as_number();
+    } else if (key == "quota") {
+      if (!value.is_number()) bad("'quota' must be a number");
+      if (value.as_number() < 0.0) bad("'quota' must be nonnegative");
+      request.quota = value.as_number();
+    } else if (key == "credits") {
+      if (!value.is_number()) bad("'credits' must be a number");
+      if (value.as_number() < 0.0) bad("'credits' must be nonnegative");
+      request.credits = value.as_number();
+    } else if (key == "max_threads") {
+      if (!value.is_number()) bad("'max_threads' must be an integer");
+      std::int64_t limit = 0;
+      try {
+        limit = value.as_int();
+      } catch (const std::exception&) {
+        bad("'max_threads' must be an integer");
+      }
+      if (limit < 0) bad("'max_threads' must be nonnegative");
+      request.max_threads = limit;
     } else {
       bad("unknown field '" + key + "'");
     }
@@ -112,6 +159,16 @@ Request parse_request(std::string_view line, util::Resource capacity) {
   if (op_node == nullptr) bad("missing 'op'");
   if (!op_node->is_string()) bad("'op' must be a string");
   request.op = op_from_name(op_node->as_string());
+
+  const bool is_tenant_admin = request.op == Op::kTenantCreate ||
+                               request.op == Op::kTenantUpdate ||
+                               request.op == Op::kTenantDelete;
+  if (!is_tenant_admin &&
+      (request.weight.has_value() || request.quota.has_value() ||
+       request.credits.has_value() || request.max_threads.has_value())) {
+    bad(std::string(op_name(request.op)) +
+        " takes no tenant admin fields (weight/quota/credits/max_threads)");
+  }
 
   switch (request.op) {
     case Op::kAddThread:
@@ -123,7 +180,7 @@ Request parse_request(std::string_view line, util::Resource capacity) {
     case Op::kRemoveThread:
       if (!request.id.has_value()) bad("remove_thread requires 'id'");
       if (thread_node != nullptr || request.factor.has_value()) {
-        bad("remove_thread takes only 'id'");
+        bad("remove_thread takes only 'id' (and 'tenant')");
       }
       break;
     case Op::kUpdateUtility:
@@ -138,15 +195,42 @@ Request parse_request(std::string_view line, util::Resource capacity) {
     case Op::kSolve:
       if (thread_node != nullptr || request.id.has_value() ||
           request.factor.has_value()) {
-        bad("solve takes only 'mode'");
+        bad("solve takes only 'mode' (and 'tenant')");
       }
       break;
     case Op::kStats:
     case Op::kMetrics:
     case Op::kShutdown:
+    case Op::kTenantList:
+      if (thread_node != nullptr || request.id.has_value() ||
+          request.factor.has_value() || request.full_solve ||
+          !request.tenant.empty()) {
+        bad(std::string(op_name(request.op)) + " takes no arguments");
+      }
+      break;
+    case Op::kTenantCreate:
+    case Op::kTenantUpdate:
+    case Op::kTenantDelete:
+      if (request.tenant.empty()) {
+        bad(std::string(op_name(request.op)) + " requires 'tenant'");
+      }
       if (thread_node != nullptr || request.id.has_value() ||
           request.factor.has_value() || request.full_solve) {
-        bad(std::string(op_name(request.op)) + " takes no arguments");
+        bad(std::string(op_name(request.op)) +
+            " takes only tenant admin fields");
+      }
+      if (request.op == Op::kTenantDelete &&
+          (request.weight.has_value() || request.quota.has_value() ||
+           request.credits.has_value() || request.max_threads.has_value())) {
+        bad("tenant_delete takes only 'tenant'");
+      }
+      if (request.op == Op::kTenantUpdate && request.credits.has_value()) {
+        bad("'credits' is set at tenant_create only");
+      }
+      if (request.op == Op::kTenantUpdate && !request.weight.has_value() &&
+          !request.quota.has_value() && !request.max_threads.has_value()) {
+        bad("tenant_update requires at least one of "
+            "'weight'/'quota'/'max_threads'");
       }
       break;
   }

@@ -14,6 +14,17 @@
 //   {"op": "stats"}
 //   {"op": "metrics"}                        // Prometheus text exposition
 //   {"op": "shutdown"}
+//   {"op": "tenant_create", "tenant": "web", "weight": 2.0, "quota": 128}
+//   {"op": "tenant_update", "tenant": "web", "weight": 1.0}
+//   {"op": "tenant_delete", "tenant": "web"}
+//   {"op": "tenant_list"}
+//
+// The service is multi-tenant (docs/SERVICE.md "Multi-tenant sharding"):
+// every state-carrying op (add_thread / remove_thread / update_utility /
+// solve) may carry "tenant" naming the tenant it addresses; omitting it
+// addresses the built-in `default` tenant, so single-tenant clients are
+// unchanged. Tenant ids are 1..64 chars of [A-Za-z0-9_.-]; anything else
+// is rejected with `bad_tenant` at parse time.
 //
 // Optional on every request: "tag" (echoed verbatim on the reply, for
 // client-side correlation) and "deadline_ms" (relative per-request
@@ -25,6 +36,7 @@
 // disconnect.
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -46,6 +58,10 @@ inline constexpr std::string_view kTooLarge = "too_large";
 inline constexpr std::string_view kOverflow = "overflow";
 inline constexpr std::string_view kShuttingDown = "shutting_down";
 inline constexpr std::string_view kInternal = "internal";
+inline constexpr std::string_view kBadTenant = "bad_tenant";
+inline constexpr std::string_view kTenantNotFound = "tenant_not_found";
+inline constexpr std::string_view kTenantExists = "tenant_exists";
+inline constexpr std::string_view kQuotaExceeded = "quota_exceeded";
 }  // namespace error_code
 
 /// Request rejection with a stable error code; the transport turns these
@@ -69,10 +85,14 @@ enum class Op {
   kStats,
   kMetrics,
   kShutdown,
+  kTenantCreate,
+  kTenantUpdate,
+  kTenantDelete,
+  kTenantList,
 };
 
 /// Number of Op enumerators (for per-op count arrays).
-inline constexpr std::size_t kNumOps = 7;
+inline constexpr std::size_t kNumOps = 11;
 
 /// `op` as it appears on the wire.
 [[nodiscard]] std::string_view op_name(Op op) noexcept;
@@ -87,7 +107,18 @@ struct Request {
   std::optional<double> deadline_ms;    ///< Overrides the config default.
   bool full_solve = false;              ///< solve mode=full.
   std::string tag;                      ///< Echoed on the reply.
+  /// Tenant addressed by state-carrying ops and named by the tenant_*
+  /// admin verbs; empty means "the default tenant was not spelled out".
+  std::string tenant;
+  std::optional<double> weight;            ///< tenant_create / tenant_update.
+  std::optional<double> quota;             ///< Capacity units; 0 = auto.
+  std::optional<double> credits;           ///< tenant_create (Karma opening).
+  std::optional<std::int64_t> max_threads; ///< Per-tenant thread quota.
 };
+
+/// True when `id` is a well-formed wire tenant id: 1..64 characters drawn
+/// from [A-Za-z0-9_.-].
+[[nodiscard]] bool valid_tenant_id(std::string_view id) noexcept;
 
 /// Parses one request line. Utility specs are validated against `capacity`
 /// (the io:: instance thread format). Throws ProtocolError on any problem:

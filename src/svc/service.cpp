@@ -1,6 +1,7 @@
 #include "svc/service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "obs/prometheus.hpp"
@@ -27,31 +28,80 @@ void merge_into(JsonValue& reply, const JsonValue& payload) {
 
 }  // namespace
 
-Service::Service(ServiceConfig config)
-    : config_(config),
-      state_(config.num_servers, config.capacity),
-      solver_(config.warm) {
+bool Service::tenant_scoped(Op op) noexcept {
+  switch (op) {
+    case Op::kAddThread:
+    case Op::kRemoveThread:
+    case Op::kUpdateUtility:
+    case Op::kSolve:
+      return true;
+    case Op::kStats:
+    case Op::kMetrics:
+    case Op::kShutdown:
+    case Op::kTenantCreate:
+    case Op::kTenantUpdate:
+    case Op::kTenantDelete:
+    case Op::kTenantList:
+      return false;
+  }
+  return false;
+}
+
+std::string_view Service::tenant_name(const Request& request) noexcept {
+  return request.tenant.empty() ? kDefaultTenant
+                                : std::string_view(request.tenant);
+}
+
+double Service::pool_units() const noexcept {
+  return static_cast<double>(config_.num_servers) *
+         static_cast<double>(config_.capacity);
+}
+
+Service::Service(ServiceConfig config) : config_(config) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.batch_max == 0) config_.batch_max = 1;
+  if (config_.shards == 0) config_.shards = 1;
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  policy_ = FairnessPolicy::create(config_.fairness);
+
+  // The default tenant exists from the start (single-tenant clients never
+  // name a tenant) and owns the whole pool until others are created.
+  const std::string name(kDefaultTenant);
+  Shard& home = *shards_[shard_of(name, config_.shards)];
+  home.tenants.emplace(
+      name, std::make_unique<Tenant>(name, TenantQuota{},
+                                     config_.num_servers, config_.capacity,
+                                     config_.warm));
+  policy_->on_tenant_created(name, config_.karma_opening_credits);
+  redivide_pool_locked();  // Single-threaded here: no locks needed yet.
 }
 
 Service::~Service() { stop(); }
 
 void Service::start() {
   if (pool_ != nullptr) return;
-  pool_ = std::make_unique<support::ThreadPool>(config_.workers);
-  workers_.reserve(config_.workers);
-  for (std::size_t i = 0; i < config_.workers; ++i) {
-    workers_.push_back(pool_->submit([this] { worker_loop(); }));
+  // Every shard needs at least one pinned worker.
+  const std::size_t total = std::max(config_.workers, config_.shards);
+  pool_ = std::make_unique<support::ThreadPool>(total);
+  workers_.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::size_t shard_index = i % config_.shards;
+    workers_.push_back(
+        pool_->submit([this, shard_index] { worker_loop(shard_index); }));
   }
 }
 
 void Service::stop() {
-  {
-    std::lock_guard lock(queue_mutex_);
-    stopping_ = true;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    {
+      std::lock_guard lock(shard->queue_mutex);
+      shard->stopping = true;
+    }
+    shard->queue_cv.notify_all();
   }
-  queue_cv_.notify_all();
   for (std::future<void>& worker : workers_) worker.get();
   workers_.clear();
   pool_.reset();
@@ -88,10 +138,18 @@ void Service::submit_line(const std::string& line, ReplyFn reply) {
     pending.error_reply = make_error_reply(error.code(), error.what());
   }
 
+  // Tenant-scoped requests go to their tenant's shard; control requests
+  // (and unparseable lines, which name no tenant) go to shard 0.
+  const std::size_t shard_index =
+      (op.has_value() && tenant_scoped(*op))
+          ? shard_of(tenant_name(pending.request), config_.shards)
+          : 0;
+  Shard& shard = *shards_[shard_index];
+
   std::size_t depth = 0;
   {
-    std::lock_guard lock(queue_mutex_);
-    if (stopping_ || shutdown_requested()) {
+    std::lock_guard lock(shard.queue_mutex);
+    if (shard.stopping || shutdown_requested()) {
       std::lock_guard stats(stats_mutex_);
       ++requests_total_;
       ++errors_total_;
@@ -105,7 +163,7 @@ void Service::submit_line(const std::string& line, ReplyFn reply) {
                     .dump());
       return;
     }
-    if (queue_.size() >= config_.max_queue) {
+    if (shard.queue.size() >= config_.max_queue) {
       std::lock_guard stats(stats_mutex_);
       ++requests_total_;
       ++errors_total_;
@@ -119,10 +177,10 @@ void Service::submit_line(const std::string& line, ReplyFn reply) {
                     .dump());
       return;
     }
-    queue_.push_back(std::move(pending));
-    depth = queue_.size();
+    shard.queue.push_back(std::move(pending));
+    depth = shard.queue.size();
   }
-  queue_cv_.notify_one();
+  shard.queue_cv.notify_one();
 
   {
     std::lock_guard stats(stats_mutex_);
@@ -146,48 +204,62 @@ std::string Service::request(const std::string& line) {
   return future.get();
 }
 
-std::vector<Service::Pending> Service::pop_batch() {
-  std::unique_lock lock(queue_mutex_);
-  queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-  if (queue_.empty()) return {};
+std::vector<Service::Pending> Service::pop_batch(Shard& shard) {
+  // Never blocks indefinitely: the caller already saw work (or stop) and
+  // holds the shard's turn lock — an unbounded wait here would hold that
+  // lock against cross-shard control ops (tenant churn, stats). A peer
+  // worker may have raced us to the queue, in which case return empty.
+  std::unique_lock lock(shard.queue_mutex);
+  if (shard.queue.empty()) return {};
 
-  if (config_.batch_linger_ms > 0.0 && queue_.size() < config_.batch_max) {
+  if (config_.batch_linger_ms > 0.0 &&
+      shard.queue.size() < config_.batch_max) {
     const auto linger_until =
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double, std::milli>(
                                config_.batch_linger_ms));
-    queue_cv_.wait_until(lock, linger_until, [this] {
-      return stopping_ || queue_.size() >= config_.batch_max;
+    shard.queue_cv.wait_until(lock, linger_until, [&shard, this] {
+      return shard.stopping || shard.queue.size() >= config_.batch_max;
     });
   }
 
   std::vector<Pending> batch;
-  const std::size_t take = std::min(queue_.size(), config_.batch_max);
+  const std::size_t take = std::min(shard.queue.size(), config_.batch_max);
   batch.reserve(take);
   for (std::size_t i = 0; i < take; ++i) {
-    batch.push_back(std::move(queue_.front()));
-    queue_.pop_front();
+    batch.push_back(std::move(shard.queue.front()));
+    shard.queue.pop_front();
   }
   return batch;
 }
 
-void Service::worker_loop() {
+void Service::worker_loop(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
   for (;;) {
+    // Wait for work WITHOUT the turn lock: an idle shard's turn must stay
+    // available to the shard-0 worker's cross-shard ops (lock_other_shards
+    // would otherwise deadlock against a parked worker).
+    {
+      std::unique_lock lock(shard.queue_mutex);
+      shard.queue_cv.wait(
+          lock, [&shard] { return shard.stopping || !shard.queue.empty(); });
+      if (shard.queue.empty()) return;  // Stopping and drained.
+    }
     std::vector<Pending> batch;
     std::vector<Outgoing> outgoing;
     std::uint64_t seq = 0;
     {
-      std::lock_guard turn(process_mutex_);
-      batch = pop_batch();
-      if (batch.empty()) return;
-      seq = next_batch_seq_++;
-      outgoing = process_batch(std::move(batch));
+      std::lock_guard turn(shard.turn_mutex);
+      batch = pop_batch(shard);
+      if (batch.empty()) continue;  // A peer on this shard raced us to it.
+      seq = shard.next_batch_seq++;
+      outgoing = process_batch(shard_index, std::move(batch));
     }
-    deliver_in_order(seq, std::move(outgoing));
+    deliver_in_order(shard, seq, std::move(outgoing));
   }
 }
 
-void Service::deliver_in_order(std::uint64_t seq,
+void Service::deliver_in_order(Shard& shard, std::uint64_t seq,
                                std::vector<Outgoing> outgoing) {
   // Render outside both the turn and the delivery lock: serialization of
   // batch k overlaps the processing of batch k+1.
@@ -197,8 +269,8 @@ void Service::deliver_in_order(std::uint64_t seq,
     rendered.emplace_back(std::move(out.reply), out.value.dump());
   }
 
-  std::unique_lock lock(deliver_mutex_);
-  deliver_cv_.wait(lock, [&] { return delivered_seq_ == seq; });
+  std::unique_lock lock(shard.deliver_mutex);
+  shard.deliver_cv.wait(lock, [&] { return shard.delivered_seq == seq; });
   for (auto& [reply, text] : rendered) {
     try {
       reply(text);
@@ -207,9 +279,9 @@ void Service::deliver_in_order(std::uint64_t seq,
       obs::count(obs::metric::kSvcReplyFailures);
     }
   }
-  delivered_seq_ = seq + 1;
+  shard.delivered_seq = seq + 1;
   lock.unlock();
-  deliver_cv_.notify_all();
+  shard.deliver_cv.notify_all();
 }
 
 void Service::record_latency(const Pending& pending, Clock::time_point now) {
@@ -221,8 +293,181 @@ void Service::record_latency(const Pending& pending, Clock::time_point now) {
   obs::sample(obs::metric::kSampleSvcRequest, wall_ms);
 }
 
+std::vector<std::unique_lock<std::mutex>> Service::lock_other_shards() {
+  std::vector<std::unique_lock<std::mutex>> guards;
+  guards.reserve(shards_.size() - 1);
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    guards.emplace_back(shards_[i]->turn_mutex);
+  }
+  return guards;
+}
+
+Tenant* Service::find_tenant(std::string_view name) {
+  Shard& shard = *shards_[shard_of(name, config_.shards)];
+  const auto it = shard.tenants.find(name);
+  return it == shard.tenants.end() ? nullptr : it->second.get();
+}
+
+void Service::redivide_pool_locked() {
+  std::vector<TenantDemand> demands;
+  std::vector<Tenant*> order;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (const auto& [name, tenant] : shard->tenants) {
+      TenantDemand demand;
+      demand.id = name;
+      demand.weight = tenant->quota.weight;
+      demand.quota = tenant->quota.quota_units;
+      demand.demand = tenant_demand_units(tenant->state);
+      demands.push_back(std::move(demand));
+      order.push_back(tenant.get());
+    }
+  }
+  const std::vector<double> slices = policy_->divide(pool_units(), demands);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    Tenant& tenant = *order[i];
+    tenant.slice_units = slices[i];
+    tenant.demand_units = demands[i].demand;
+    const auto per_server = static_cast<util::Resource>(
+        std::floor(slices[i] / static_cast<double>(config_.num_servers)));
+    tenant.state.set_solve_capacity(std::max<util::Resource>(1, per_server));
+  }
+  obs::count(obs::metric::kSvcTenantRedivides);
+  std::lock_guard stats(stats_mutex_);
+  ++pool_redivides_;
+}
+
+JsonValue Service::tenant_admin(const Request& request) {
+  const std::string name = request.tenant;
+  Shard& home = *shards_[shard_of(name, config_.shards)];
+  switch (request.op) {
+    case Op::kTenantCreate: {
+      if (home.tenants.find(name) != home.tenants.end()) {
+        std::lock_guard stats(stats_mutex_);
+        ++errors_total_;
+        return make_error_reply(error_code::kTenantExists,
+                                "tenant '" + name + "' already exists",
+                                op_name(request.op), request.tag);
+      }
+      TenantQuota quota;
+      quota.weight = request.weight.value_or(1.0);
+      quota.quota_units = request.quota.value_or(0.0);
+      quota.max_threads = request.max_threads.value_or(0);
+      auto tenant = std::make_unique<Tenant>(name, quota,
+                                             config_.num_servers,
+                                             config_.capacity, config_.warm);
+      Tenant* created = tenant.get();
+      home.tenants.emplace(name, std::move(tenant));
+      policy_->on_tenant_created(
+          name, request.credits.value_or(config_.karma_opening_credits));
+      obs::count(obs::metric::kSvcTenantCreates);
+      {
+        std::lock_guard stats(stats_mutex_);
+        ++tenant_creates_;
+      }
+      redivide_pool_locked();
+      JsonValue reply = make_ok_reply(request.op, request.tag);
+      reply.set("tenant", name);
+      reply.set("shard", shard_of(name, config_.shards));
+      reply.set("weight", created->quota.weight);
+      reply.set("quota_units", created->quota.quota_units);
+      reply.set("max_threads", created->quota.max_threads);
+      reply.set("slice_units", created->slice_units);
+      return reply;
+    }
+    case Op::kTenantUpdate: {
+      Tenant* tenant = find_tenant(name);
+      if (tenant == nullptr) {
+        std::lock_guard stats(stats_mutex_);
+        ++errors_total_;
+        return make_error_reply(error_code::kTenantNotFound,
+                                "no tenant '" + name + "'",
+                                op_name(request.op), request.tag);
+      }
+      if (request.weight) tenant->quota.weight = *request.weight;
+      if (request.quota) tenant->quota.quota_units = *request.quota;
+      if (request.max_threads) tenant->quota.max_threads = *request.max_threads;
+      obs::count(obs::metric::kSvcTenantUpdates);
+      {
+        std::lock_guard stats(stats_mutex_);
+        ++tenant_updates_;
+      }
+      redivide_pool_locked();
+      JsonValue reply = make_ok_reply(request.op, request.tag);
+      reply.set("tenant", name);
+      reply.set("weight", tenant->quota.weight);
+      reply.set("quota_units", tenant->quota.quota_units);
+      reply.set("max_threads", tenant->quota.max_threads);
+      reply.set("slice_units", tenant->slice_units);
+      return reply;
+    }
+    case Op::kTenantDelete: {
+      if (name == kDefaultTenant) {
+        std::lock_guard stats(stats_mutex_);
+        ++errors_total_;
+        return make_error_reply(error_code::kBadTenant,
+                                "the default tenant cannot be deleted",
+                                op_name(request.op), request.tag);
+      }
+      const auto it = home.tenants.find(name);
+      if (it == home.tenants.end()) {
+        std::lock_guard stats(stats_mutex_);
+        ++errors_total_;
+        return make_error_reply(error_code::kTenantNotFound,
+                                "no tenant '" + name + "'",
+                                op_name(request.op), request.tag);
+      }
+      const std::size_t threads_removed = it->second->state.num_threads();
+      home.tenants.erase(it);
+      policy_->on_tenant_deleted(name);
+      obs::count(obs::metric::kSvcTenantDeletes);
+      {
+        std::lock_guard stats(stats_mutex_);
+        ++tenant_deletes_;
+      }
+      redivide_pool_locked();
+      JsonValue reply = make_ok_reply(request.op, request.tag);
+      reply.set("tenant", name);
+      reply.set("threads_removed", threads_removed);
+      return reply;
+    }
+    default:
+      return make_error_reply(error_code::kInternal,
+                              "not a tenant admin op",
+                              op_name(request.op), request.tag);
+  }
+}
+
+JsonValue Service::tenant_list_json() {
+  JsonValue::Array tenants;
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    for (const auto& [name, tenant] : shards_[s]->tenants) {
+      JsonValue entry;
+      entry.set("tenant", name);
+      entry.set("shard", s);
+      entry.set("weight", tenant->quota.weight);
+      entry.set("quota_units", tenant->quota.quota_units);
+      entry.set("max_threads", tenant->quota.max_threads);
+      entry.set("threads", tenant->state.num_threads());
+      entry.set("slice_units", tenant->slice_units);
+      entry.set("demand_units", tenant->demand_units);
+      entry.set("solve_capacity", tenant->state.solve_capacity());
+      entry.set("credits", policy_->credits(name));
+      tenants.push_back(std::move(entry));
+      ++count;
+    }
+  }
+  JsonValue payload;
+  payload.set("policy", fairness_policy_name(policy_->kind()));
+  payload.set("pool_units", pool_units());
+  payload.set("tenants", JsonValue(std::move(tenants)));
+  payload.set("tenant_count", count);
+  return payload;
+}
+
 std::vector<Service::Outgoing> Service::process_batch(
-    std::vector<Pending> batch) {
+    std::size_t shard_index, std::vector<Pending> batch) {
+  Shard& shard = *shards_[shard_index];
   const obs::ScopedPhase phase(obs::metric::kPhaseSvcBatch);
   obs::count(obs::metric::kSvcBatches);
   obs::sample(obs::metric::kSampleSvcBatchSize,
@@ -235,8 +480,13 @@ std::vector<Service::Outgoing> Service::process_batch(
 
   std::vector<Outgoing> out;
   out.reserve(batch.size());
-  std::vector<std::size_t> solve_slots;
-  bool force_full = false;
+  /// Per-tenant deferred solves: every solve in the batch for one tenant
+  /// shares one re-solve of that tenant's final state.
+  struct SolveGroup {
+    std::vector<std::size_t> slots;
+    bool force_full = false;
+  };
+  std::map<std::string, SolveGroup, std::less<>> solve_groups;
 
   const Clock::time_point started = Clock::now();
   for (Pending& pending : batch) {
@@ -262,74 +512,143 @@ std::vector<Service::Outgoing> Service::process_batch(
         std::lock_guard stats(stats_mutex_);
         ++errors_total_;
         ++timeouts_;
+      } else if (tenant_scoped(request.op)) {
+        const std::string_view name = tenant_name(request);
+        const auto it = shard.tenants.find(name);
+        Tenant* tenant =
+            it == shard.tenants.end() ? nullptr : it->second.get();
+        if (tenant == nullptr) {
+          reply = make_error_reply(
+              error_code::kTenantNotFound,
+              "no tenant '" + std::string(name) + "'",
+              op_name(request.op), request.tag);
+          std::lock_guard stats(stats_mutex_);
+          ++errors_total_;
+        } else {
+          ++tenant->requests;
+          switch (request.op) {
+            case Op::kAddThread: {
+              if (tenant->quota.max_threads > 0 &&
+                  static_cast<std::int64_t>(tenant->state.num_threads()) >=
+                      tenant->quota.max_threads) {
+                reply = make_error_reply(
+                    error_code::kQuotaExceeded,
+                    "tenant '" + std::string(name) + "' is at its " +
+                        std::to_string(tenant->quota.max_threads) +
+                        "-thread quota",
+                    op_name(request.op), request.tag);
+                ++tenant->errors;
+                std::lock_guard stats(stats_mutex_);
+                ++errors_total_;
+                break;
+              }
+              const ThreadId id = tenant->state.add_thread(request.utility);
+              reply = make_ok_reply(request.op, request.tag);
+              reply.set("id", id);
+              reply.set("threads", tenant->state.num_threads());
+              if (!request.tenant.empty()) {
+                reply.set("tenant", request.tenant);
+              }
+              break;
+            }
+            case Op::kRemoveThread: {
+              if (tenant->state.remove_thread(*request.id)) {
+                reply = make_ok_reply(request.op, request.tag);
+                reply.set("id", *request.id);
+                reply.set("threads", tenant->state.num_threads());
+                if (!request.tenant.empty()) {
+                  reply.set("tenant", request.tenant);
+                }
+              } else {
+                reply = make_error_reply(
+                    error_code::kNotFound,
+                    "no thread with id " + std::to_string(*request.id),
+                    op_name(request.op), request.tag);
+                ++tenant->errors;
+                std::lock_guard stats(stats_mutex_);
+                ++errors_total_;
+              }
+              break;
+            }
+            case Op::kUpdateUtility: {
+              const bool found =
+                  request.utility != nullptr
+                      ? tenant->state.update_utility(*request.id,
+                                                     request.utility)
+                      : tenant->state.scale_utility(*request.id,
+                                                    *request.factor);
+              if (found) {
+                reply = make_ok_reply(request.op, request.tag);
+                reply.set("id", *request.id);
+                if (!request.tenant.empty()) {
+                  reply.set("tenant", request.tenant);
+                }
+              } else {
+                reply = make_error_reply(
+                    error_code::kNotFound,
+                    "no thread with id " + std::to_string(*request.id),
+                    op_name(request.op), request.tag);
+                ++tenant->errors;
+                std::lock_guard stats(stats_mutex_);
+                ++errors_total_;
+              }
+              break;
+            }
+            case Op::kSolve: {
+              // Deferred: all solves for this tenant in the batch share
+              // one re-solve of its final state below.
+              SolveGroup& group = solve_groups[std::string(name)];
+              group.slots.push_back(out.size());
+              group.force_full = group.force_full || request.full_solve;
+              break;
+            }
+            default:
+              break;
+          }
+        }
       } else {
         switch (request.op) {
-          case Op::kAddThread: {
-            const ThreadId id = state_.add_thread(request.utility);
-            reply = make_ok_reply(request.op, request.tag);
-            reply.set("id", id);
-            reply.set("threads", state_.num_threads());
-            break;
-          }
-          case Op::kRemoveThread: {
-            if (state_.remove_thread(*request.id)) {
-              reply = make_ok_reply(request.op, request.tag);
-              reply.set("id", *request.id);
-              reply.set("threads", state_.num_threads());
-            } else {
-              reply = make_error_reply(
-                  error_code::kNotFound,
-                  "no thread with id " + std::to_string(*request.id),
-                  op_name(request.op), request.tag);
-              std::lock_guard stats(stats_mutex_);
-              ++errors_total_;
-            }
-            break;
-          }
-          case Op::kUpdateUtility: {
-            const bool found =
-                request.utility != nullptr
-                    ? state_.update_utility(*request.id, request.utility)
-                    : state_.scale_utility(*request.id, *request.factor);
-            if (found) {
-              reply = make_ok_reply(request.op, request.tag);
-              reply.set("id", *request.id);
-            } else {
-              reply = make_error_reply(
-                  error_code::kNotFound,
-                  "no thread with id " + std::to_string(*request.id),
-                  op_name(request.op), request.tag);
-              std::lock_guard stats(stats_mutex_);
-              ++errors_total_;
-            }
-            break;
-          }
-          case Op::kSolve:
-            // Deferred: all solves in the batch share one re-solve of the
-            // final state below.
-            solve_slots.push_back(out.size());
-            force_full = force_full || request.full_solve;
-            break;
-          case Op::kStats:
+          case Op::kStats: {
+            const auto guards = lock_other_shards();
             reply = make_ok_reply(request.op, request.tag);
             merge_into(reply, stats_json());
             break;
-          case Op::kMetrics:
+          }
+          case Op::kMetrics: {
+            const auto guards = lock_other_shards();
             reply = make_ok_reply(request.op, request.tag);
             reply.set("content_type", "text/plain; version=0.0.4");
             reply.set("body", metrics_text());
             break;
+          }
           case Op::kShutdown: {
             shutdown_requested_.store(true, std::memory_order_release);
-            {
-              std::lock_guard lock(queue_mutex_);
-              stopping_ = true;
+            for (const std::unique_ptr<Shard>& other : shards_) {
+              {
+                std::lock_guard lock(other->queue_mutex);
+                other->stopping = true;
+              }
+              other->queue_cv.notify_all();
             }
-            queue_cv_.notify_all();
             obs::count(obs::metric::kSvcShutdowns);
             reply = make_ok_reply(request.op, request.tag);
             break;
           }
+          case Op::kTenantCreate:
+          case Op::kTenantUpdate:
+          case Op::kTenantDelete: {
+            const auto guards = lock_other_shards();
+            reply = tenant_admin(request);
+            break;
+          }
+          case Op::kTenantList: {
+            const auto guards = lock_other_shards();
+            reply = make_ok_reply(request.op, request.tag);
+            merge_into(reply, tenant_list_json());
+            break;
+          }
+          default:
+            break;
         }
       }
     } catch (const std::exception& error) {
@@ -342,10 +661,24 @@ std::vector<Service::Outgoing> Service::process_batch(
     out.push_back(Outgoing{pending.reply, std::move(reply)});
   }
 
-  if (!solve_slots.empty()) {
+  for (auto& [name, group] : solve_groups) {
+    const auto it = shard.tenants.find(name);
+    Tenant* tenant = it == shard.tenants.end() ? nullptr : it->second.get();
+    if (tenant == nullptr) {
+      // Deleted by an admin op later in this very batch.
+      for (const std::size_t slot : group.slots) {
+        out[slot].value = make_error_reply(
+            error_code::kTenantNotFound, "no tenant '" + name + "'",
+            op_name(Op::kSolve), batch[slot].request.tag);
+        std::lock_guard stats(stats_mutex_);
+        ++errors_total_;
+      }
+      continue;
+    }
     try {
       const Clock::time_point solve_start = Clock::now();
-      ServiceSolveResult solved = solver_.solve(state_, force_full);
+      ServiceSolveResult solved =
+          tenant->solver.solve(tenant->state, group.force_full);
       const double solve_ms = ms_between(solve_start, Clock::now());
       switch (solved.path) {
         case SolvePath::kCached:
@@ -358,11 +691,12 @@ std::vector<Service::Outgoing> Service::process_batch(
           obs::instant(obs::metric::kEventSvcPathFull);
           break;
       }
+      ++tenant->solves_by_path[static_cast<std::size_t>(solved.path)];
       {
         std::lock_guard stats(stats_mutex_);
         ++solves_by_path_[static_cast<std::size_t>(solved.path)];
         solves_coalesced_ +=
-            static_cast<std::int64_t>(solve_slots.size()) - 1;
+            static_cast<std::int64_t>(group.slots.size()) - 1;
         migrations_total_ += static_cast<std::int64_t>(solved.migrations);
         if (solved.certificate.ok()) {
           ++certificates_pass_;
@@ -372,14 +706,17 @@ std::vector<Service::Outgoing> Service::process_batch(
         solve_latency_ms_.sample(solve_ms);
       }
       const JsonValue payload = solve_payload(solved, solve_ms);
-      for (const std::size_t slot : solve_slots) {
+      for (const std::size_t slot : group.slots) {
         JsonValue reply = make_ok_reply(Op::kSolve, batch[slot].request.tag);
         merge_into(reply, payload);
+        if (!batch[slot].request.tenant.empty()) {
+          reply.set("tenant", batch[slot].request.tenant);
+        }
         out[slot].value = std::move(reply);
       }
     } catch (const std::exception& error) {
       obs::count(obs::metric::kSvcInternalErrors);
-      for (const std::size_t slot : solve_slots) {
+      for (const std::size_t slot : group.slots) {
         out[slot].value =
             make_error_reply(error_code::kInternal, error.what(),
                              op_name(Op::kSolve), batch[slot].request.tag);
@@ -428,11 +765,27 @@ JsonValue Service::solve_payload(const ServiceSolveResult& solved,
   return payload;
 }
 
-JsonValue Service::stats_json() {
+std::size_t Service::total_queue_depth() {
   std::size_t depth = 0;
-  {
-    std::lock_guard lock(queue_mutex_);
-    depth = queue_.size();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard lock(shard->queue_mutex);
+    depth += shard->queue.size();
+  }
+  return depth;
+}
+
+JsonValue Service::stats_json() {
+  const std::size_t depth = total_queue_depth();
+
+  std::size_t threads = 0;
+  std::uint64_t version = 0;
+  std::size_t tenant_count = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (const auto& [name, tenant] : shard->tenants) {
+      threads += tenant->state.num_threads();
+      version += tenant->state.version();
+      ++tenant_count;
+    }
   }
 
   const auto latency_json = [](const obs::Histogram& histogram) {
@@ -451,16 +804,22 @@ JsonValue Service::stats_json() {
 
   std::lock_guard stats(stats_mutex_);
   JsonValue payload;
-  payload.set("threads", state_.num_threads());
-  payload.set("servers", state_.num_servers());
-  payload.set("capacity", state_.capacity());
-  payload.set("version", state_.version());
+  payload.set("threads", threads);
+  payload.set("servers", config_.num_servers);
+  payload.set("capacity", config_.capacity);
+  payload.set("version", version);
+  payload.set("tenants", tenant_count);
+  payload.set("shards", shards_.size());
+  payload.set("policy", fairness_policy_name(policy_->kind()));
+  payload.set("pool_units", pool_units());
   payload.set("queue_depth", depth);
   payload.set("queue_peak", queue_peak_);
   payload.set("requests_total", requests_total_);
   JsonValue ops;
-  for (const Op op : {Op::kAddThread, Op::kRemoveThread, Op::kUpdateUtility,
-                      Op::kSolve, Op::kStats, Op::kMetrics, Op::kShutdown}) {
+  for (const Op op :
+       {Op::kAddThread, Op::kRemoveThread, Op::kUpdateUtility, Op::kSolve,
+        Op::kStats, Op::kMetrics, Op::kShutdown, Op::kTenantCreate,
+        Op::kTenantUpdate, Op::kTenantDelete, Op::kTenantList}) {
     ops.set(std::string(op_name(op)),
             op_counts_[static_cast<std::size_t>(op)]);
   }
@@ -482,28 +841,102 @@ JsonValue Service::stats_json() {
   solves.set("coalesced", solves_coalesced_);
   payload.set("solves", std::move(solves));
   payload.set("migrations", migrations_total_);
+  JsonValue tenant_ops;
+  tenant_ops.set("creates", tenant_creates_);
+  tenant_ops.set("updates", tenant_updates_);
+  tenant_ops.set("deletes", tenant_deletes_);
+  tenant_ops.set("redivides", pool_redivides_);
+  payload.set("tenant_ops", std::move(tenant_ops));
   payload.set("request_latency", latency_json(request_latency_ms_));
   payload.set("solve_latency", latency_json(solve_latency_ms_));
   return payload;
 }
 
 std::string Service::metrics_text() {
-  std::size_t depth = 0;
-  {
-    std::lock_guard lock(queue_mutex_);
-    depth = queue_.size();
-  }
+  const std::size_t depth = total_queue_depth();
 
   std::string out;
-  out.reserve(4096);
+  out.reserve(8192);
   obs::prometheus_gauge(out, "aa_uptime_seconds",
                         ms_between(started_, Clock::now()) / 1e3);
+
+  // Per-tenant labeled families first (tenant ids are [A-Za-z0-9_.-], so
+  // label values never need escaping). Cardinality is bounded by the live
+  // tenant count — docs/OBSERVABILITY.md "Per-tenant labels".
+  std::size_t threads = 0;
+  std::uint64_t version = 0;
+  std::size_t tenant_count = 0;
+  struct Row {
+    std::string labels;
+    const Tenant* tenant = nullptr;
+  };
+  std::vector<Row> rows;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (const auto& [name, tenant] : shard->tenants) {
+      threads += tenant->state.num_threads();
+      version += tenant->state.version();
+      ++tenant_count;
+      rows.push_back(Row{"tenant=\"" + name + "\"", tenant.get()});
+    }
+  }
+  obs::prometheus_gauge(out, "aa_svc_tenants",
+                        static_cast<double>(tenant_count));
+  obs::prometheus_gauge(out, "aa_svc_shards",
+                        static_cast<double>(shards_.size()));
+  obs::prometheus_header(out, "aa_svc_tenant_requests_total", "counter");
+  for (const Row& row : rows) {
+    obs::prometheus_sample(out, "aa_svc_tenant_requests_total", row.labels,
+                           row.tenant->requests);
+  }
+  obs::prometheus_header(out, "aa_svc_tenant_errors_total", "counter");
+  for (const Row& row : rows) {
+    obs::prometheus_sample(out, "aa_svc_tenant_errors_total", row.labels,
+                           row.tenant->errors);
+  }
+  obs::prometheus_header(out, "aa_svc_tenant_solves_total", "counter");
+  for (const Row& row : rows) {
+    obs::prometheus_sample(
+        out, "aa_svc_tenant_solves_total", row.labels + ",path=\"full\"",
+        row.tenant->solves_by_path[static_cast<std::size_t>(
+            SolvePath::kFull)]);
+    obs::prometheus_sample(
+        out, "aa_svc_tenant_solves_total", row.labels + ",path=\"warm\"",
+        row.tenant->solves_by_path[static_cast<std::size_t>(
+            SolvePath::kWarm)]);
+    obs::prometheus_sample(
+        out, "aa_svc_tenant_solves_total", row.labels + ",path=\"cached\"",
+        row.tenant->solves_by_path[static_cast<std::size_t>(
+            SolvePath::kCached)]);
+  }
+  obs::prometheus_header(out, "aa_svc_tenant_threads", "gauge");
+  for (const Row& row : rows) {
+    obs::prometheus_sample(
+        out, "aa_svc_tenant_threads", row.labels,
+        static_cast<double>(row.tenant->state.num_threads()));
+  }
+  obs::prometheus_header(out, "aa_svc_tenant_slice_units", "gauge");
+  for (const Row& row : rows) {
+    obs::prometheus_sample(out, "aa_svc_tenant_slice_units", row.labels,
+                           row.tenant->slice_units);
+  }
+  obs::prometheus_header(out, "aa_svc_tenant_demand_units", "gauge");
+  for (const Row& row : rows) {
+    obs::prometheus_sample(out, "aa_svc_tenant_demand_units", row.labels,
+                           row.tenant->demand_units);
+  }
+  obs::prometheus_header(out, "aa_svc_tenant_credits", "gauge");
+  for (const Row& row : rows) {
+    obs::prometheus_sample(out, "aa_svc_tenant_credits", row.labels,
+                           policy_->credits(row.tenant->name));
+  }
 
   std::lock_guard stats(stats_mutex_);
   obs::prometheus_counter(out, "aa_svc_requests_total", requests_total_);
   obs::prometheus_header(out, "aa_svc_requests_by_op_total", "counter");
-  for (const Op op : {Op::kAddThread, Op::kRemoveThread, Op::kUpdateUtility,
-                      Op::kSolve, Op::kStats, Op::kMetrics, Op::kShutdown}) {
+  for (const Op op :
+       {Op::kAddThread, Op::kRemoveThread, Op::kUpdateUtility, Op::kSolve,
+        Op::kStats, Op::kMetrics, Op::kShutdown, Op::kTenantCreate,
+        Op::kTenantUpdate, Op::kTenantDelete, Op::kTenantList}) {
     const std::string labels =
         "op=\"" + std::string(op_name(op)) + "\"";
     obs::prometheus_sample(out, "aa_svc_requests_by_op_total", labels,
@@ -530,14 +963,22 @@ std::string Service::metrics_text() {
                          "verdict=\"pass\"", certificates_pass_);
   obs::prometheus_sample(out, "aa_svc_certificates_total",
                          "verdict=\"fail\"", certificates_fail_);
+  obs::prometheus_counter(out, "aa_svc_tenant_creates_total",
+                          tenant_creates_);
+  obs::prometheus_counter(out, "aa_svc_tenant_updates_total",
+                          tenant_updates_);
+  obs::prometheus_counter(out, "aa_svc_tenant_deletes_total",
+                          tenant_deletes_);
+  obs::prometheus_counter(out, "aa_svc_pool_redivides_total",
+                          pool_redivides_);
   obs::prometheus_gauge(out, "aa_svc_queue_depth",
                         static_cast<double>(depth));
   obs::prometheus_gauge(out, "aa_svc_queue_peak",
                         static_cast<double>(queue_peak_));
   obs::prometheus_gauge(out, "aa_svc_threads",
-                        static_cast<double>(state_.num_threads()));
+                        static_cast<double>(threads));
   obs::prometheus_gauge(out, "aa_svc_state_version",
-                        static_cast<double>(state_.version()));
+                        static_cast<double>(version));
   obs::prometheus_histogram(out, "aa_svc_request_latency_ms",
                             request_latency_ms_);
   obs::prometheus_summary(out, "aa_svc_request_latency_quantiles_ms",

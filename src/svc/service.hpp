@@ -3,32 +3,53 @@
 // Transport-independent core of the allocation service.
 //
 // Connections (Unix socket, stdio, or tests) feed raw request lines into
-// submit_line(); replies come back through a per-request callback. In
-// between sits a bounded FIFO request queue drained by a worker pool
-// (support/thread_pool):
+// submit_line(); replies come back through a per-request callback. The
+// service is multi-tenant and sharded: tenants (svc/tenant.hpp) are
+// distributed over `shards` shards by a stable hash of the tenant id, and
+// each shard owns a bounded FIFO request queue, its tenants' state, and a
+// reply sequencer of its own:
 //
-//   - Workers take strict turns draining: one worker pops a *batch* of up
-//     to `batch_max` requests (lingering `batch_linger_ms` after the first
-//     so bursts coalesce), applies every delta in arrival order, and
-//     answers all solve requests in the batch with ONE re-solve of the
-//     final state (coalescing). Reply *rendering* happens outside the
-//     turn, so JSON serialization overlaps the next batch's solve; a
-//     sequencer then delivers batches in order, preserving global FIFO.
+//   - Every drain worker is pinned to exactly one shard (worker i drains
+//     shard i mod shards), and a shard's state is only ever touched under
+//     that shard's turn lock — so steady-state traffic for tenants on
+//     different shards never contends on any lock (the acceptance
+//     property behind the TSan soak in CI).
+//   - Within a shard, workers take strict turns draining: one worker pops
+//     a *batch* of up to `batch_max` requests (lingering `batch_linger_ms`
+//     after the first so bursts coalesce), applies every delta in arrival
+//     order, and answers all solve requests in the batch — per tenant —
+//     with ONE re-solve of that tenant's final state (coalescing). Reply
+//     *rendering* happens outside the turn, so JSON serialization
+//     overlaps the next batch's solve; a per-shard sequencer delivers
+//     batches in order, preserving FIFO per shard (and therefore per
+//     tenant; requests for different shards may be answered out of
+//     submission order).
+//   - Tenant-less control requests (stats, metrics, shutdown, and the
+//     tenant_* admin verbs) are routed to shard 0; the ones that must see
+//     every shard briefly acquire the other shards' turn locks in
+//     ascending order — only the shard-0 worker ever holds more than one
+//     turn lock, so the ordering is deadlock-free. Tenant churn
+//     (create/update/delete) re-divides the global capacity pool across
+//     tenants through the configured FairnessPolicy (svc/fairness.hpp)
+//     and publishes each tenant's slice as its InstanceState solve
+//     capacity, feeding the existing warm-start cached/warm/full paths.
 //   - Requests carry optional deadlines (request `deadline_ms` overriding
 //     the config default); a request picked up past its deadline gets a
 //     structured `timeout` error instead of being executed.
-//   - Solves go through WarmStartSolver: cached / warm (placement pinned,
-//     zero migrations) / full Algorithm 2, every reply carrying the
-//     0.828-approximation certificate verdict.
+//   - Solves go through the tenant's WarmStartSolver: cached / warm
+//     (placement pinned, zero migrations) / full Algorithm 2, every reply
+//     carrying the 0.828-approximation certificate verdict for that
+//     tenant's sliced instance.
 //
 // The service keeps its own counters and log2-bucketed latency histograms
 // (obs/histogram.hpp) behind stats_mutex_ — surfaced as quantiles by the
 // `stats` op and as a Prometheus text exposition by the `metrics` op
-// (metrics_text) — and mirrors them into the installed aa::obs session
-// (svc/* counters, svc/batch + svc/solve phase timers, queue-depth /
-// batch-size / request-latency histogram samples, queue-wait spans and
-// warm-start path instants on the trace rings), so `aa_serve --metrics`
-// and `--trace-out` export them through the session paths.
+// (metrics_text, including per-tenant labeled families) — and mirrors
+// them into the installed aa::obs session (svc/* counters, svc/batch +
+// svc/solve phase timers, queue-depth / batch-size / request-latency
+// histogram samples, queue-wait spans and warm-start path instants on the
+// trace rings), so `aa_serve --metrics` and `--trace-out` export them
+// through the session paths.
 
 #include <atomic>
 #include <chrono>
@@ -37,6 +58,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -46,8 +68,10 @@
 #include "obs/histogram.hpp"
 #include "support/json.hpp"
 #include "support/thread_pool.hpp"
+#include "svc/fairness.hpp"
 #include "svc/instance_state.hpp"
 #include "svc/protocol.hpp"
+#include "svc/tenant.hpp"
 #include "svc/warm_start.hpp"
 
 namespace aa::svc {
@@ -55,7 +79,8 @@ namespace aa::svc {
 struct ServiceConfig {
   std::size_t num_servers = 2;
   util::Resource capacity = 64;
-  /// Drain workers (each runs one turn-taking batch loop).
+  /// Drain workers; each is pinned to shard (index mod shards). Raised to
+  /// `shards` when smaller so every shard has at least one worker.
   std::size_t workers = 2;
   /// Requests coalesced into one drain turn.
   std::size_t batch_max = 64;
@@ -63,9 +88,16 @@ struct ServiceConfig {
   double batch_linger_ms = 0.0;
   /// Applied when a request has no deadline_ms of its own; <= 0 disables.
   double default_deadline_ms = 0.0;
-  /// Enqueue beyond this depth is answered with an `overflow` error.
+  /// Enqueue beyond this depth (per shard) is answered with `overflow`.
   std::size_t max_queue = 4096;
   WarmStartConfig warm;
+  /// Tenant shards; 1 keeps the single-lock behavior of old.
+  std::size_t shards = 1;
+  /// How the global pool (num_servers * capacity units) is divided across
+  /// tenants on churn (svc/fairness.hpp).
+  FairnessPolicyKind fairness = FairnessPolicyKind::kStaticQuota;
+  /// Karma opening balance for tenants created without "credits".
+  double karma_opening_credits = 0.0;
 };
 
 class Service {
@@ -84,7 +116,7 @@ class Service {
   /// batching).
   void start();
 
-  /// Stops accepting requests, drains the queue, and joins the workers.
+  /// Stops accepting requests, drains the queues, and joins the workers.
   /// Safe to call repeatedly; never call from a worker callback.
   void stop();
 
@@ -125,47 +157,88 @@ class Service {
     support::JsonValue value;
   };
 
-  void worker_loop();
-  /// Pops the next batch; empty result means "stopping and drained".
-  [[nodiscard]] std::vector<Pending> pop_batch();
-  /// Applies one batch to the state and builds the reply trees.
+  /// One tenant shard: its own queue, turn lock, tenants, and sequencer.
+  struct Shard {
+    std::mutex queue_mutex;
+    std::condition_variable queue_cv;
+    std::deque<Pending> queue;
+    bool stopping = false;
+
+    // Drain turn: one batch at a time per shard, in pop order. Held
+    // across pop + tenant mutation + solve; rendering happens outside.
+    // Guards `tenants` — cross-shard readers (stats/metrics/tenant_list)
+    // and tenant churn take every shard's turn lock in ascending order.
+    std::mutex turn_mutex;
+    std::uint64_t next_batch_seq = 0;
+    // Ordered by tenant id: iteration feeds the fairness division and the
+    // exposition, both of which must be deterministic.
+    std::map<std::string, std::unique_ptr<Tenant>, std::less<>> tenants;
+
+    // Ordered delivery of rendered batches.
+    std::mutex deliver_mutex;
+    std::condition_variable deliver_cv;
+    std::uint64_t delivered_seq = 0;
+  };
+
+  /// True for ops that address one tenant's state (routed by tenant id);
+  /// everything else is a control op routed to shard 0.
+  [[nodiscard]] static bool tenant_scoped(Op op) noexcept;
+  /// The tenant a request addresses (kDefaultTenant when unspecified).
+  [[nodiscard]] static std::string_view tenant_name(
+      const Request& request) noexcept;
+
+  void worker_loop(std::size_t shard_index);
+  /// Non-blocking pop of the next batch (plus bounded linger). Caller
+  /// holds the shard's turn lock and has already observed work; an empty
+  /// result means a same-shard peer raced us to the queue.
+  [[nodiscard]] std::vector<Pending> pop_batch(Shard& shard);
+  /// Applies one batch to the shard's tenants and builds the reply trees.
   [[nodiscard]] std::vector<Outgoing> process_batch(
-      std::vector<Pending> batch);
-  void deliver_in_order(std::uint64_t seq, std::vector<Outgoing> outgoing);
+      std::size_t shard_index, std::vector<Pending> batch);
+  void deliver_in_order(Shard& shard, std::uint64_t seq,
+                        std::vector<Outgoing> outgoing);
+
+  /// Locks every shard's turn but shard 0's, ascending. Only called while
+  /// the caller (the shard-0 worker) holds shard 0's turn lock, so the
+  /// global lock order is strictly ascending and deadlock-free.
+  [[nodiscard]] std::vector<std::unique_lock<std::mutex>>
+  lock_other_shards();
+
+  [[nodiscard]] Tenant* find_tenant(std::string_view name);
+
+  /// Re-divides the global pool across all tenants through the fairness
+  /// policy and publishes the slices as per-tenant solve capacities.
+  /// Caller must hold every shard's turn lock.
+  void redivide_pool_locked();
+
+  /// Handles one tenant_* admin request. Caller holds every turn lock.
+  [[nodiscard]] support::JsonValue tenant_admin(const Request& request);
+  [[nodiscard]] support::JsonValue tenant_list_json();
+
   [[nodiscard]] support::JsonValue stats_json();
   /// Prometheus text-format exposition of the service counters, latency
-  /// histograms (+ quantile summaries), certificate verdicts, uptime, and
-  /// — when an obs session is installed — its drop counters. Served by the
-  /// `metrics` op.
+  /// histograms (+ quantile summaries), certificate verdicts, per-tenant
+  /// labeled families, uptime, and — when an obs session is installed —
+  /// its drop counters. Served by the `metrics` op. Caller must hold
+  /// every shard's turn lock.
   [[nodiscard]] std::string metrics_text();
   [[nodiscard]] support::JsonValue solve_payload(
       const ServiceSolveResult& solved, double solve_ms) const;
   void record_latency(const Pending& pending, Clock::time_point now);
+  [[nodiscard]] std::size_t total_queue_depth();
+  [[nodiscard]] double pool_units() const noexcept;
 
   ServiceConfig config_;
 
-  // Request queue (queue_mutex_): transports enqueue, drain turns pop.
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Pending> queue_;
-  bool stopping_ = false;
-
-  // Drain turn (process_mutex_): one batch at a time, in pop order. Held
-  // across pop + state mutation + solve; rendering happens outside.
-  std::mutex process_mutex_;
-  std::uint64_t next_batch_seq_ = 0;
-  InstanceState state_;
-  WarmStartSolver solver_;
-
-  // Ordered delivery of rendered batches.
-  std::mutex deliver_mutex_;
-  std::condition_variable deliver_cv_;
-  std::uint64_t delivered_seq_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Cross-tenant division policy; its credit books are only touched
+  /// under all turn locks (tenant churn), never on the request fast path.
+  std::unique_ptr<FairnessPolicy> policy_;
 
   // Service-side statistics (stats_mutex_), surfaced by the `stats` and
   // `metrics` ops. Distributions are log2-bucketed histograms: O(1) per
   // sample with no window to age out, at the cost of one-bucket (2x)
-  // quantile resolution.
+  // quantile resolution. Brief leaf lock, taken after any turn/queue lock.
   mutable std::mutex stats_mutex_;
   std::int64_t requests_total_ = 0;
   std::int64_t op_counts_[kNumOps] = {};
@@ -177,6 +250,10 @@ class Service {
   std::int64_t migrations_total_ = 0;
   std::int64_t certificates_pass_ = 0;
   std::int64_t certificates_fail_ = 0;
+  std::int64_t tenant_creates_ = 0;
+  std::int64_t tenant_updates_ = 0;
+  std::int64_t tenant_deletes_ = 0;
+  std::int64_t pool_redivides_ = 0;
   std::size_t queue_peak_ = 0;
   obs::Histogram batch_size_;
   obs::Histogram queue_depth_;

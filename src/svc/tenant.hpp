@@ -1,0 +1,75 @@
+#pragma once
+
+// Per-tenant sharded state for the multi-tenant allocation service.
+//
+// The service shards tenants by id (stable FNV-1a hash mod shard count):
+// each shard owns its tenants' mutable state behind the shard's own
+// processing lock, and every drain worker is pinned to exactly one shard
+// (service.hpp), so steady-state traffic for tenants on different shards
+// never contends on a lock. A Tenant bundles everything a single-tenant
+// service used to own once: its InstanceState (thread set + version), its
+// WarmStartSolver (cached/warm/full paths and certificates warm-start per
+// tenant), its quota knobs, the pool slice the fairness layer last granted
+// it, and its per-tenant counters for the stats/metrics exposition.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "svc/instance_state.hpp"
+#include "svc/warm_start.hpp"
+
+namespace aa::svc {
+
+/// The tenant addressed by requests that spell no "tenant" field. Exists
+/// from service start and cannot be deleted, so single-tenant clients keep
+/// working unchanged.
+inline constexpr std::string_view kDefaultTenant = "default";
+
+/// Stable shard router (FNV-1a over the id, mod `shards`). Hash-based so
+/// tenant placement never depends on creation order.
+[[nodiscard]] std::size_t shard_of(std::string_view tenant,
+                                   std::size_t shards) noexcept;
+
+/// Admin-settable knobs (tenant_create / tenant_update).
+struct TenantQuota {
+  double weight = 1.0;          ///< > 0; share of the pool.
+  double quota_units = 0.0;     ///< Capacity units; 0 = auto (weight share).
+  std::int64_t max_threads = 0; ///< add_thread cap; 0 = unlimited.
+};
+
+struct Tenant {
+  Tenant(std::string tenant_name, TenantQuota tenant_quota,
+         std::size_t num_servers, util::Resource capacity,
+         const WarmStartConfig& warm)
+      : name(std::move(tenant_name)),
+        quota(tenant_quota),
+        state(num_servers, capacity),
+        solver(warm) {}
+
+  std::string name;
+  TenantQuota quota;
+  InstanceState state;
+  WarmStartSolver solver;
+
+  /// Units of the global pool last granted by the fairness layer; the
+  /// state's solve capacity is floor(slice_units / num_servers),
+  /// floored at 1 so an empty slice still solves.
+  double slice_units = 0.0;
+  /// Full-capacity super-optimal value at the last division round.
+  double demand_units = 0.0;
+
+  // Per-tenant stats (guarded by the owning shard's turn lock).
+  std::int64_t requests = 0;
+  std::int64_t errors = 0;
+  std::int64_t solves_by_path[3] = {};  ///< Indexed by SolvePath.
+};
+
+/// The demand curve a tenant presents to the fairness layer: the total
+/// super-optimal allocation sum(c_hat_i) of its current thread set at the
+/// *full* per-server capacity — what the tenant could productively use if
+/// it owned the whole pool (ISSUE: "demand read off its super-optimal
+/// value"). 0 for an empty tenant.
+[[nodiscard]] double tenant_demand_units(const InstanceState& state);
+
+}  // namespace aa::svc

@@ -98,6 +98,22 @@ TEST(AaLint, UndocumentedErrorCodeIsFlagged) {
       << result.output;
 }
 
+TEST(AaLint, UndocumentedTenantCodeIsFlagged) {
+  const RunResult result =
+      lint_fixture("undocumented_tenant_code", "error-codes");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("\"tenant_ghost\" (kTenantGhost) is declared "
+                               "but missing from the docs/SERVICE.md code "
+                               "table"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("never exercised"), std::string::npos)
+      << result.output;
+  // The documented-and-exercised tenant code is not reported.
+  EXPECT_EQ(result.output.find("\"bad_tenant\""), std::string::npos)
+      << result.output;
+}
+
 TEST(AaLint, FloatLiteralEqualityIsFlagged) {
   const RunResult result = lint_fixture("float_eq", "determinism");
   EXPECT_EQ(result.exit_code, 1) << result.output;

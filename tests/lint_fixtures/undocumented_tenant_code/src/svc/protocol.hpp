@@ -1,0 +1,9 @@
+#pragma once
+#include <string_view>
+
+namespace aa::svc {
+namespace error_code {
+inline constexpr std::string_view kBadTenant = "bad_tenant";
+inline constexpr std::string_view kTenantGhost = "tenant_ghost";
+}  // namespace error_code
+}  // namespace aa::svc

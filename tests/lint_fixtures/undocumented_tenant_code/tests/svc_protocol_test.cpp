@@ -1,0 +1,2 @@
+// Fixture: only the bad_tenant code is exercised.
+void f() { (void)error_code::kBadTenant; }

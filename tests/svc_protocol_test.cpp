@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <string>
 
 #include "support/json.hpp"
@@ -147,14 +148,116 @@ TEST(ProtocolParse, BadThreadSpecs) {
       error_code::kBadRequest);
 }
 
+TEST(ProtocolParse, TenantScopedRequests) {
+  const Request scoped = parse(
+      R"({"op": "add_thread", "tenant": "acme", "thread": {"type": "power", "scale": 1.0, "beta": 0.5}})");
+  EXPECT_EQ(scoped.op, Op::kAddThread);
+  EXPECT_EQ(scoped.tenant, "acme");
+  EXPECT_TRUE(parse(R"({"op": "solve"})").tenant.empty());
+  EXPECT_EQ(parse(R"({"op": "solve", "tenant": "a-b.c_9"})").tenant,
+            "a-b.c_9");
+}
+
+TEST(ProtocolParse, TenantAdminVerbs) {
+  const Request create = parse(
+      R"({"op": "tenant_create", "tenant": "acme", "weight": 2.0, "quota": 32, "max_threads": 8, "credits": 16, "tag": "c"})");
+  EXPECT_EQ(create.op, Op::kTenantCreate);
+  EXPECT_EQ(create.tenant, "acme");
+  EXPECT_EQ(create.weight, 2.0);
+  EXPECT_EQ(create.quota, 32.0);
+  EXPECT_EQ(create.max_threads, 8);
+  EXPECT_EQ(create.credits, 16.0);
+
+  const Request update =
+      parse(R"({"op": "tenant_update", "tenant": "acme", "weight": 3.0})");
+  EXPECT_EQ(update.op, Op::kTenantUpdate);
+  EXPECT_FALSE(update.quota.has_value());
+
+  EXPECT_EQ(parse(R"({"op": "tenant_delete", "tenant": "acme"})").op,
+            Op::kTenantDelete);
+  EXPECT_EQ(parse(R"({"op": "tenant_list"})").op, Op::kTenantList);
+}
+
+TEST(ProtocolParse, MalformedTenantIdsAreBadTenant) {
+  // The id grammar (1..64 chars of [A-Za-z0-9_.-]) is a wire contract:
+  // ids flow unescaped into Prometheus label values and shard hashing.
+  EXPECT_TRUE(valid_tenant_id("acme"));
+  EXPECT_TRUE(valid_tenant_id("a-b.c_9"));
+  EXPECT_TRUE(valid_tenant_id(std::string(64, 'x')));
+  EXPECT_FALSE(valid_tenant_id(""));
+  EXPECT_FALSE(valid_tenant_id(std::string(65, 'x')));
+  EXPECT_FALSE(valid_tenant_id("has space"));
+  EXPECT_FALSE(valid_tenant_id("quote\"breaks\"labels"));
+  EXPECT_FALSE(valid_tenant_id("newline\n"));
+  EXPECT_FALSE(valid_tenant_id("utf8\xc3\xa9"));
+
+  EXPECT_EQ(code_of(R"({"op": "solve", "tenant": ""})"),
+            error_code::kBadTenant);
+  EXPECT_EQ(code_of(R"({"op": "solve", "tenant": "has space"})"),
+            error_code::kBadTenant);
+  EXPECT_EQ(code_of(R"({"op": "solve", "tenant": 7})"),
+            error_code::kBadTenant);
+  EXPECT_EQ(code_of(R"({"op": "tenant_create", "tenant": "a\"b"})"),
+            error_code::kBadTenant);
+}
+
+TEST(ProtocolParse, TenantAdminFieldValidation) {
+  // Admin verbs require a tenant...
+  EXPECT_EQ(code_of(R"({"op": "tenant_create"})"), error_code::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op": "tenant_update", "weight": 2.0})"),
+            error_code::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op": "tenant_delete"})"), error_code::kBadRequest);
+  // ...and reject thread-level payloads.
+  EXPECT_EQ(code_of(R"({"op": "tenant_create", "tenant": "t", "id": 1})"),
+            error_code::kBadRequest);
+  // tenant_delete takes only the tenant.
+  EXPECT_EQ(
+      code_of(R"({"op": "tenant_delete", "tenant": "t", "weight": 2.0})"),
+      error_code::kBadRequest);
+  // tenant_update: no credits, and at least one knob.
+  EXPECT_EQ(
+      code_of(R"({"op": "tenant_update", "tenant": "t", "credits": 5.0})"),
+      error_code::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op": "tenant_update", "tenant": "t"})"),
+            error_code::kBadRequest);
+  // tenant_list is argument-free, like stats/shutdown.
+  EXPECT_EQ(code_of(R"({"op": "tenant_list", "tenant": "t"})"),
+            error_code::kBadRequest);
+  // Admin fields never ride on data-plane ops.
+  EXPECT_EQ(code_of(R"({"op": "solve", "weight": 2.0})"),
+            error_code::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op": "add_thread", "quota": 3.0})"),
+            error_code::kBadRequest);
+  // Knob typing.
+  EXPECT_EQ(
+      code_of(R"({"op": "tenant_create", "tenant": "t", "weight": 0.0})"),
+      error_code::kBadRequest);
+  EXPECT_EQ(
+      code_of(R"({"op": "tenant_create", "tenant": "t", "quota": -1.0})"),
+      error_code::kBadRequest);
+  EXPECT_EQ(
+      code_of(
+          R"({"op": "tenant_create", "tenant": "t", "max_threads": 1.5})"),
+      error_code::kBadRequest);
+  EXPECT_EQ(
+      code_of(R"({"op": "tenant_create", "tenant": "t", "credits": -2.0})"),
+      error_code::kBadRequest);
+}
+
 TEST(ProtocolParse, FuzzedMutationsNeverCrash) {
   // Random structural mutations of a valid request: parse either succeeds
   // or throws ProtocolError; nothing else may escape.
-  const std::string seed_line =
-      R"({"op": "add_thread", "thread": {"type": "power", "scale": 1.0, "beta": 0.5}, "tag": "x"})";
+  const std::string seed_lines[] = {
+      R"({"op": "add_thread", "thread": {"type": "power", "scale": 1.0, "beta": 0.5}, "tag": "x"})",
+      R"({"op": "add_thread", "tenant": "acme", "thread": {"type": "power", "scale": 1.0, "beta": 0.5}})",
+      R"({"op": "tenant_create", "tenant": "acme", "weight": 2.0, "quota": 32, "max_threads": 8, "credits": 4})",
+      R"({"op": "tenant_update", "tenant": "a-b.c_9", "weight": 1.5})",
+      R"({"op": "tenant_delete", "tenant": "acme"})",
+  };
   support::Rng rng(2024);
   for (int round = 0; round < 2000; ++round) {
-    std::string line = seed_line;
+    std::string line =
+        seed_lines[rng.uniform_below(std::size(seed_lines))];
     const std::size_t edits = 1 + rng.uniform_below(4);
     for (std::size_t e = 0; e < edits; ++e) {
       const std::size_t pos = rng.uniform_below(line.size());
@@ -212,6 +315,10 @@ TEST(ProtocolReplies, StableErrorCodeStrings) {
   EXPECT_EQ(error_code::kOverflow, "overflow");
   EXPECT_EQ(error_code::kShuttingDown, "shutting_down");
   EXPECT_EQ(error_code::kInternal, "internal");
+  EXPECT_EQ(error_code::kBadTenant, "bad_tenant");
+  EXPECT_EQ(error_code::kTenantNotFound, "tenant_not_found");
+  EXPECT_EQ(error_code::kTenantExists, "tenant_exists");
+  EXPECT_EQ(error_code::kQuotaExceeded, "quota_exceeded");
 }
 
 }  // namespace

@@ -291,6 +291,64 @@ std::vector<BenchCase> build_suite(std::uint64_t seed) {
          };
        }});
 
+  // Multi-tenant request latency (docs/SERVICE.md "Multi-tenant
+  // sharding"): T tenants over 4 shards, 4 threads each, cached solves
+  // round-robined across the tenants. The 1-vs-16 pair is the sharding
+  // regression bar — hosting 16 tenants must not tax one tenant's
+  // request path (acceptance: 16-tenant median within 1.3x of
+  // 1-tenant's).
+  const auto make_tenant_service = [seed](std::size_t tenants) {
+    aa::svc::ServiceConfig config;
+    config.num_servers = 8;
+    config.capacity = 1000;
+    config.workers = 4;
+    config.shards = 4;
+    auto service = std::make_shared<aa::svc::Service>(config);
+    service->start();
+    aa::support::DistributionParams dist;
+    aa::support::Rng rng = aa::support::Rng::child(seed, 9004);
+    for (std::size_t t = 0; t < tenants; ++t) {
+      const std::string tenant = "bench" + std::to_string(t);
+      JsonValue create{JsonValue::Object{}};
+      create.set("op", "tenant_create");
+      create.set("tenant", tenant);
+      static_cast<void>(service->request(create.dump()));
+      for (std::size_t i = 0; i < 4; ++i) {
+        const aa::util::UtilityPtr utility =
+            aa::util::generate_utility(1000, dist, rng);
+        JsonValue request{JsonValue::Object{}};
+        request.set("op", "add_thread");
+        request.set("tenant", tenant);
+        request.set("thread", aa::io::utility_to_json(*utility));
+        static_cast<void>(service->request(request.dump()));
+      }
+      // Prime the cached path so the measured solves never re-solve.
+      JsonValue solve{JsonValue::Object{}};
+      solve.set("op", "solve");
+      solve.set("tenant", tenant);
+      static_cast<void>(service->request(solve.dump()));
+    }
+    return service;
+  };
+  const auto tenant_case = [make_tenant_service,
+                            solve_utility](std::size_t tenants) {
+    return [make_tenant_service, solve_utility, tenants] {
+      auto service = make_tenant_service(tenants);
+      auto next = std::make_shared<std::size_t>(0);
+      return [service, solve_utility, tenants, next] {
+        const std::string tenant =
+            "bench" + std::to_string(*next % tenants);
+        ++*next;
+        return solve_utility(service->request(
+            R"({"op": "solve", "tenant": ")" + tenant + "\"}"));
+      };
+    };
+  };
+  cases.push_back({"svc/tenant_request/solve_1_tenant", "svc", true,
+                   tenant_case(1)});
+  cases.push_back({"svc/tenant_request/solve_16_tenants", "svc", true,
+                   tenant_case(16)});
+
   return cases;
 }
 

@@ -3,6 +3,7 @@
 //   aa_loadgen --socket PATH [--requests N] [--connections K]
 //              [--threads-init T] [--solve-every S] [--capacity C]
 //              [--seed SEED] [--deadline-ms D] [--script FILE]
+//              [--tenants T] [--tenant-skew S] [--tenant-churn 1]
 //              [--shutdown 1] [--connect-timeout-ms MS] [--json 1]
 //
 // Replays a request stream against a running aa_serve and verifies every
@@ -13,19 +14,36 @@
 // add_thread, remove_thread, with a solve every S requests. --script FILE
 // replays the file's lines verbatim on one connection instead.
 //
-// Every reply must parse and carry ok=true, and every solve reply must
-// carry certificate_ok=true (the 0.828-approximation certificate); anything
-// else counts as a failure and the exit status is 1. On success prints
-// throughput and p50/p90/p99/max round-trip latency, the solve-path mix
-// observed, and the server's own stats line. --json 1 appends one
+// --tenants T switches to multi-tenant mode: tenants lg0..lg(T-1) are
+// created up front and every request addresses one of them, sampled from a
+// Zipf(--tenant-skew) popularity distribution (skew 0 = uniform; higher
+// skews a few hot tenants, the realistic shape for consolidated hosts).
+// --tenant-churn 1 additionally deletes and recreates the sampled tenant
+// at a low rate mid-stream; races lost to churn (tenant_not_found /
+// tenant_exists / not_found on a thread that died with its tenant) are
+// expected there, tolerated, and reported per code rather than failing the
+// run — the generator recreates the tenant and carries on, exercising the
+// fairness policies' churn paths (Karma credit books included).
+//
+// Every reply must parse and carry ok=true (or a tolerated churn code),
+// and every solve reply must carry certificate_ok=true (the
+// 0.828-approximation certificate); anything else counts as a failure and
+// the exit status is 1. On success prints throughput and p50/p90/p99/max
+// round-trip latency, the solve-path mix observed, failures broken down by
+// error code, and the server's own stats line. --json 1 appends one
 // machine-readable summary line (a single JSON object with the same
-// numbers) as the final stdout line, for CI and scripts.
+// numbers plus a per-tenant breakdown) as the final stdout line, for CI
+// and scripts.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,34 +71,84 @@ struct Options {
   std::uint64_t seed = 1;
   double deadline_ms = 0.0;
   std::string script_path;
+  std::size_t tenants = 0;  ///< 0 = single-tenant (no tenant fields).
+  double tenant_skew = 1.0;
+  bool tenant_churn = false;
   bool send_shutdown = false;
   int connect_timeout_ms = 5000;
 };
 
+/// Loadgen tenant ids: lg0..lg(N-1).
+std::string tenant_name(std::size_t index) {
+  return "lg" + std::to_string(index);
+}
+
 struct Tally {
   std::size_t sent = 0;
   std::size_t failures = 0;
+  std::size_t tolerated = 0;  ///< Expected churn races, by code below.
   std::size_t solves = 0;
   std::size_t solves_warm = 0;
   std::size_t solves_full = 0;
   std::size_t solves_cached = 0;
   std::vector<double> latency_ms;
+  /// Every non-ok reply by its stable error code — failures and tolerated
+  /// churn races alike ("" for replies that never parsed).
+  std::map<std::string, std::size_t> error_codes;
+  /// Requests and hard failures per tenant (multi-tenant mode only).
+  std::map<std::string, std::size_t> tenant_requests;
+  std::map<std::string, std::size_t> tenant_failures;
   std::vector<std::string> failure_samples;  ///< First few, for stderr.
 
   void merge(const Tally& other) {
     sent += other.sent;
     failures += other.failures;
+    tolerated += other.tolerated;
     solves += other.solves;
     solves_warm += other.solves_warm;
     solves_full += other.solves_full;
     solves_cached += other.solves_cached;
     latency_ms.insert(latency_ms.end(), other.latency_ms.begin(),
                       other.latency_ms.end());
+    for (const auto& [code, count] : other.error_codes) {
+      error_codes[code] += count;
+    }
+    for (const auto& [tenant, count] : other.tenant_requests) {
+      tenant_requests[tenant] += count;
+    }
+    for (const auto& [tenant, count] : other.tenant_failures) {
+      tenant_failures[tenant] += count;
+    }
     for (const std::string& sample : other.failure_samples) {
       if (failure_samples.size() >= 5) break;
       failure_samples.push_back(sample);
     }
   }
+};
+
+/// Zipf popularity over `n` tenants: weight 1/(rank+1)^skew, sampled by
+/// inverse CDF. skew 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double skew) {
+    cdf_.reserve(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+      cdf_.push_back(total);
+    }
+    for (double& value : cdf_) value /= total;
+  }
+
+  [[nodiscard]] std::size_t sample(support::Rng& rng) const {
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
 };
 
 void record_failure(Tally& tally, const std::string& context) {
@@ -91,10 +159,13 @@ void record_failure(Tally& tally, const std::string& context) {
 }
 
 /// Sends one request line and validates the reply. Returns the parsed
-/// reply, or nullopt when the round trip or validation failed.
-std::optional<support::JsonValue> round_trip(svc::LineChannel& channel,
-                                             const std::string& line,
-                                             Tally& tally) {
+/// reply when it is ok — or a non-ok reply whose code is in `tolerated`
+/// (an expected churn race; the caller checks "ok" and reacts). Any other
+/// outcome is recorded as a failure and returns nullopt. Every non-ok
+/// reply's code lands in tally.error_codes either way.
+std::optional<support::JsonValue> round_trip(
+    svc::LineChannel& channel, const std::string& line, Tally& tally,
+    const std::set<std::string>* tolerated = nullptr) {
   ++tally.sent;
   const auto start = std::chrono::steady_clock::now();
   if (!channel.write_line(line)) {
@@ -113,16 +184,29 @@ std::optional<support::JsonValue> round_trip(svc::LineChannel& channel,
   try {
     parsed = support::json_parse(*reply);
     if (!parsed.at("ok").as_bool()) {
+      const support::JsonValue* code = parsed.find("code");
+      const std::string code_text =
+          code != nullptr ? code->as_string() : "";
+      ++tally.error_codes[code_text];
+      if (tolerated != nullptr && tolerated->count(code_text) > 0) {
+        ++tally.tolerated;
+        return parsed;
+      }
       record_failure(tally, "error reply: " + *reply);
       return std::nullopt;
     }
   } catch (const std::exception& error) {
+    ++tally.error_codes[""];
     record_failure(tally,
                    std::string("unparseable reply (") + error.what() +
                        "): " + *reply);
     return std::nullopt;
   }
   return parsed;
+}
+
+bool is_ok(const support::JsonValue& reply) {
+  return reply.at("ok").as_bool();
 }
 
 void check_solve_reply(const support::JsonValue& reply, Tally& tally) {
@@ -154,7 +238,10 @@ std::string with_deadline(support::JsonValue request, double deadline_ms) {
   return request.dump();
 }
 
-/// One connection's randomized stream.
+/// One connection's randomized stream. In multi-tenant mode every request
+/// addresses a Zipf-sampled tenant; with churn, tenants may vanish under
+/// us (another connection deleted them) — those races are tolerated,
+/// repaired by recreating the tenant, and tallied per error code.
 Tally run_connection(const Options& options, std::size_t index,
                      std::size_t request_count) {
   Tally tally;
@@ -163,58 +250,131 @@ Tally run_connection(const Options& options, std::size_t index,
   svc::LineChannel channel(fd.get(), svc::kDefaultMaxLineBytes);
   support::Rng rng(options.seed + 0x9e3779b9u * (index + 1));
   support::DistributionParams dist;  // Section VII uniform H.
-  std::vector<std::int64_t> ids;
+  const bool multi_tenant = options.tenants > 0;
+  const ZipfSampler zipf(std::max<std::size_t>(options.tenants, 1),
+                         options.tenant_skew);
+  // Per-tenant id pools ("" = the default tenant in single-tenant mode).
+  std::map<std::string, std::vector<std::int64_t>> ids_by_tenant;
+  // Churn races: the codes a request may legitimately come back with.
+  const std::set<std::string> churn_codes = {"tenant_not_found",
+                                             "tenant_exists", "not_found"};
+  const std::set<std::string>* tolerated =
+      options.tenant_churn ? &churn_codes : nullptr;
 
-  const auto send_add = [&] {
+  const auto pick_tenant = [&]() -> std::string {
+    return multi_tenant ? tenant_name(zipf.sample(rng)) : std::string();
+  };
+  const auto tag_tenant = [&](support::JsonValue& request,
+                              const std::string& tenant) {
+    if (!tenant.empty()) {
+      request.set("tenant", tenant);
+      ++tally.tenant_requests[tenant];
+    }
+  };
+  /// The sampled tenant lost a churn race: recreate it (another connection
+  /// may beat us to that too) and forget its dead threads.
+  const auto repair_tenant = [&](const std::string& tenant) {
+    ids_by_tenant[tenant].clear();
+    support::JsonValue request;
+    request.set("op", "tenant_create");
+    request.set("tenant", tenant);
+    ++tally.tenant_requests[tenant];
+    (void)round_trip(channel, request.dump(), tally, tolerated);
+  };
+  /// Runs one request against `tenant`, reacting to tolerated races.
+  const auto send = [&](support::JsonValue request,
+                        const std::string& tenant) {
+    tag_tenant(request, tenant);
+    const auto reply = round_trip(
+        channel, with_deadline(std::move(request), options.deadline_ms),
+        tally, tolerated);
+    if (!reply.has_value()) {
+      if (!tenant.empty()) ++tally.tenant_failures[tenant];
+      return reply;
+    }
+    if (!is_ok(*reply)) {
+      if (reply->at("code").as_string() == "tenant_not_found") {
+        repair_tenant(tenant);
+      } else if (reply->at("code").as_string() == "not_found") {
+        // A thread that died with its deleted tenant; drop our stale id.
+        ids_by_tenant[tenant].clear();
+      }
+      return decltype(reply)(std::nullopt);
+    }
+    return reply;
+  };
+
+  const auto send_add = [&](const std::string& tenant) {
     const util::UtilityPtr utility =
         util::generate_utility(options.capacity, dist, rng);
     support::JsonValue request;
     request.set("op", "add_thread");
     request.set("thread", io::utility_to_json(*utility));
-    const auto reply =
-        round_trip(channel, with_deadline(std::move(request),
-                                          options.deadline_ms),
-                   tally);
-    if (reply.has_value()) ids.push_back(reply->at("id").as_int());
+    const auto reply = send(std::move(request), tenant);
+    if (reply.has_value()) {
+      ids_by_tenant[tenant].push_back(reply->at("id").as_int());
+    }
   };
 
-  for (std::size_t i = 0; i < options.threads_init; ++i) send_add();
+  for (std::size_t i = 0; i < options.threads_init; ++i) {
+    send_add(pick_tenant());
+  }
 
   for (std::size_t i = 0; i < request_count; ++i) {
+    const std::string tenant = pick_tenant();
+    std::vector<std::int64_t>& ids = ids_by_tenant[tenant];
     if (options.solve_every > 0 && (i + 1) % options.solve_every == 0) {
       support::JsonValue request;
       request.set("op", "solve");
-      const auto reply =
-          round_trip(channel, with_deadline(std::move(request),
-                                            options.deadline_ms),
-                     tally);
+      const auto reply = send(std::move(request), tenant);
       if (reply.has_value()) check_solve_reply(*reply, tally);
       continue;
     }
     const double dice = rng.uniform01();
-    if (ids.empty() || dice < 0.15) {
-      send_add();
+    if (options.tenant_churn && multi_tenant && dice < 0.01) {
+      // Drop and recreate the sampled tenant: a full fairness re-division
+      // (and, under karma, credit retirement + re-minting) under load.
+      support::JsonValue request;
+      request.set("op", "tenant_delete");
+      request.set("tenant", tenant);
+      ++tally.tenant_requests[tenant];
+      (void)round_trip(channel, request.dump(), tally, tolerated);
+      ids.clear();
+      repair_tenant(tenant);
+    } else if (ids.empty() || dice < 0.15) {
+      send_add(tenant);
     } else if (dice < 0.25) {
       const std::size_t pick = rng.uniform_below(ids.size());
       support::JsonValue request;
       request.set("op", "remove_thread");
       request.set("id", ids[pick]);
       ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pick));
-      (void)round_trip(channel, with_deadline(std::move(request),
-                                              options.deadline_ms),
-                       tally);
+      (void)send(std::move(request), tenant);
     } else {
       const std::size_t pick = rng.uniform_below(ids.size());
       support::JsonValue request;
       request.set("op", "update_utility");
       request.set("id", ids[pick]);
       request.set("factor", 0.8 + 0.45 * rng.uniform01());
-      (void)round_trip(channel, with_deadline(std::move(request),
-                                              options.deadline_ms),
-                       tally);
+      (void)send(std::move(request), tenant);
     }
   }
   return tally;
+}
+
+/// Creates the loadgen tenants up front on a dedicated connection
+/// (tolerating tenant_exists so reruns against a live server work).
+void create_tenants(const Options& options, Tally& tally) {
+  svc::FdHandle fd =
+      svc::connect_unix(options.socket_path, options.connect_timeout_ms);
+  svc::LineChannel channel(fd.get(), svc::kDefaultMaxLineBytes);
+  const std::set<std::string> tolerated = {"tenant_exists"};
+  for (std::size_t t = 0; t < options.tenants; ++t) {
+    support::JsonValue request;
+    request.set("op", "tenant_create");
+    request.set("tenant", tenant_name(t));
+    (void)round_trip(channel, request.dump(), tally, &tolerated);
+  }
 }
 
 Tally run_script(const Options& options) {
@@ -244,15 +404,17 @@ int main(int argc, char** argv) {
     const support::Args args(
         argc, argv,
         {"socket", "requests", "connections", "threads-init", "solve-every",
-         "capacity", "seed", "deadline-ms", "script", "shutdown",
-         "connect-timeout-ms", "json"});
+         "capacity", "seed", "deadline-ms", "script", "tenants",
+         "tenant-skew", "tenant-churn", "shutdown", "connect-timeout-ms",
+         "json"});
     Options options;
     options.socket_path = args.get("socket", "");
     if (options.socket_path.empty() || !args.positional().empty()) {
       std::cerr << "usage: aa_loadgen --socket PATH [--requests N] "
                    "[--connections K] [--threads-init T] [--solve-every S] "
                    "[--capacity C] [--seed SEED] [--deadline-ms D] "
-                   "[--script FILE] [--shutdown 1] [--connect-timeout-ms "
+                   "[--script FILE] [--tenants T] [--tenant-skew S] "
+                   "[--tenant-churn 1] [--shutdown 1] [--connect-timeout-ms "
                    "MS] [--json 1]\n";
       return 2;
     }
@@ -268,6 +430,9 @@ int main(int argc, char** argv) {
     options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     options.deadline_ms = args.get_double("deadline-ms", 0.0);
     options.script_path = args.get("script", "");
+    options.tenants = static_cast<std::size_t>(args.get_int("tenants", 0));
+    options.tenant_skew = args.get_double("tenant-skew", 1.0);
+    options.tenant_churn = args.get_int("tenant-churn", 0) != 0;
     options.send_shutdown = args.get_int("shutdown", 0) != 0;
     options.connect_timeout_ms =
         static_cast<int>(args.get_int("connect-timeout-ms", 5000));
@@ -278,6 +443,7 @@ int main(int argc, char** argv) {
     if (!options.script_path.empty()) {
       total = run_script(options);
     } else {
+      if (options.tenants > 0) create_tenants(options, total);
       std::mutex merge_mutex;
       std::vector<std::thread> workers;
       const std::size_t per_connection =
@@ -321,7 +487,19 @@ int main(int argc, char** argv) {
     }
 
     std::cout << "requests: " << total.sent << "  failures: "
-              << total.failures << "\n";
+              << total.failures;
+    if (total.tolerated > 0) {
+      std::cout << "  tolerated churn races: " << total.tolerated;
+    }
+    std::cout << "\n";
+    if (!total.error_codes.empty()) {
+      std::cout << "errors by code:";
+      for (const auto& [code, count] : total.error_codes) {
+        std::cout << "  " << (code.empty() ? "(unparseable)" : code) << "="
+                  << count;
+      }
+      std::cout << "\n";
+    }
     if (elapsed_s > 0.0) {
       std::cout << "elapsed: " << elapsed_s << " s  throughput: "
                 << static_cast<double>(total.sent) / elapsed_s << " req/s\n";
@@ -366,6 +544,27 @@ int main(int argc, char** argv) {
       solves.set("full", total.solves_full);
       solves.set("cached", total.solves_cached);
       summary.set("solves", std::move(solves));
+      summary.set("tolerated", total.tolerated);
+      if (!total.error_codes.empty()) {
+        support::JsonValue errors;
+        for (const auto& [code, count] : total.error_codes) {
+          errors.set(code.empty() ? "unparseable" : code, count);
+        }
+        summary.set("errors", std::move(errors));
+      }
+      if (!total.tenant_requests.empty()) {
+        support::JsonValue tenants;
+        for (const auto& [tenant, count] : total.tenant_requests) {
+          support::JsonValue entry;
+          entry.set("requests", count);
+          const auto failed = total.tenant_failures.find(tenant);
+          entry.set("failures", failed == total.tenant_failures.end()
+                                    ? std::size_t{0}
+                                    : failed->second);
+          tenants.set(tenant, std::move(entry));
+        }
+        summary.set("tenants", std::move(tenants));
+      }
       std::cout << summary.dump() << "\n";
     }
     for (const std::string& sample : total.failure_samples) {

@@ -5,11 +5,14 @@
 //            [--batch-max B] [--batch-linger-ms L] [--deadline-ms D]
 //            [--max-queue Q] [--max-line-bytes N]
 //            [--hysteresis H] [--resolve-fraction F] [--resolve-min K]
+//            [--shards S] [--fairness static_quota|weighted_max_min|karma]
+//            [--karma-credits B]
 //            [--so-strategy serial|parallel|price] [--so-price-tol T]
 //            [--metrics FILE|-] [--trace-out FILE]
 //
 // Speaks line-delimited JSON (add_thread / remove_thread / update_utility /
-// solve / stats / shutdown) over a Unix domain socket at --socket, or over
+// solve / tenant_create / tenant_update / tenant_delete / tenant_list /
+// stats / shutdown) over a Unix domain socket at --socket, or over
 // stdin/stdout with --stdio 1 (also the default when no socket is given; the
 // mode tests and shell pipelines use). The process exits after a `shutdown`
 // request — or, in stdio mode, at EOF.
@@ -19,6 +22,14 @@
 // with --hysteresis stickiness, falling back to full Algorithm 2 when more
 // than max(--resolve-min, --resolve-fraction * n) deltas accumulated. Every
 // solve reply carries its 0.828-approximation certificate verdict.
+//
+// The service is multi-tenant: tenants live on --shards shards (stable hash
+// of the tenant id; workers are pinned per shard so tenants on different
+// shards never contend), and the global capacity pool (servers * capacity)
+// is re-divided across tenants on every tenant_create/update/delete through
+// the --fairness policy (docs/SERVICE.md "Cross-tenant fairness").
+// --karma-credits sets the opening credit balance minted for tenants
+// created without an explicit "credits" field under the karma policy.
 //
 // --so-strategy routes every solve's super-optimal allocation through the
 // chosen implementation (docs/ALGORITHMS.md "Strategy seam"): serial
@@ -36,6 +47,8 @@
 
 #include <iostream>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "alloc/super_optimal.hpp"
@@ -65,6 +78,17 @@ svc::ServiceConfig config_from_args(const support::Args& args) {
       args.get_double("resolve-fraction", 0.25);
   config.warm.resolve_delta_min =
       static_cast<std::size_t>(args.get_int("resolve-min", 8));
+  config.shards = static_cast<std::size_t>(args.get_int("shards", 1));
+  const std::string fairness = args.get("fairness", "static_quota");
+  const std::optional<svc::FairnessPolicyKind> kind =
+      svc::fairness_policy_from_name(fairness);
+  if (!kind) {
+    throw std::invalid_argument(
+        "unknown --fairness policy '" + fairness +
+        "' (want static_quota | weighted_max_min | karma)");
+  }
+  config.fairness = *kind;
+  config.karma_opening_credits = args.get_double("karma-credits", 0.0);
   return config;
 }
 
@@ -76,14 +100,18 @@ int main(int argc, char** argv) {
         argc, argv,
         {"socket", "stdio", "servers", "capacity", "workers", "batch-max",
          "batch-linger-ms", "deadline-ms", "max-queue", "max-line-bytes",
-         "hysteresis", "resolve-fraction", "resolve-min", "so-strategy",
-         "so-price-tol", "metrics", "trace-out"});
+         "hysteresis", "resolve-fraction", "resolve-min", "shards",
+         "fairness", "karma-credits", "so-strategy", "so-price-tol",
+         "metrics", "trace-out"});
     if (!args.positional().empty()) {
       std::cerr << "usage: aa_serve [--socket PATH] [--stdio 1] "
                    "[--servers M] [--capacity C] [--workers W] "
                    "[--batch-max B] [--batch-linger-ms L] [--deadline-ms D] "
                    "[--max-queue Q] [--max-line-bytes N] [--hysteresis H] "
                    "[--resolve-fraction F] [--resolve-min K] "
+                   "[--shards S] "
+                   "[--fairness static_quota|weighted_max_min|karma] "
+                   "[--karma-credits B] "
                    "[--so-strategy serial|parallel|price] [--so-price-tol T] "
                    "[--metrics FILE|-] [--trace-out FILE]\n";
       return 2;

@@ -6,9 +6,12 @@
 // Polls the service's `metrics` protocol verb (docs/SERVICE.md), validates
 // the returned Prometheus text exposition, and renders a one-screen
 // summary: request/error rates (computed between polls), queue depth,
-// solve-path mix, certificate verdicts, latency quantiles, and telemetry
-// drop counters. Plain ANSI escapes only — no curses dependency — so it
-// runs anywhere a terminal does.
+// solve-path mix, certificate verdicts, latency quantiles, telemetry
+// drop counters, and — when the server reports more than one tenant — the
+// top tenants by request rate (per-tenant requests/errors/threads/slice,
+// from the aa_svc_tenant_* labeled families in docs/OBSERVABILITY.md).
+// Plain ANSI escapes only — no curses dependency — so it runs anywhere a
+// terminal does.
 //
 //   --once 1        take a single snapshot and exit (no screen clearing);
 //                   CI uses this as a scrape-and-validate step.
@@ -17,11 +20,14 @@
 //   --iterations N  stop after N polls (0 = run until interrupted).
 //
 // Exit status is 0 only if every scrape parsed and validated: TYPE-declared
-// families, well-formed sample lines, cumulative histogram buckets whose
-// +Inf count equals _count. A malformed exposition prints the violations
-// to stderr and exits 1, so wiring `aa_top --once 1` into a pipeline
-// doubles as a format regression test.
+// families, well-formed sample lines, label bodies that follow the
+// exposition grammar (valid label names, quoted values with only \\ \" \n
+// escapes, no duplicate keys), cumulative histogram buckets whose +Inf
+// count equals _count. A malformed exposition prints the violations to
+// stderr and exits 1, so wiring `aa_top --once 1` into a pipeline doubles
+// as a format regression test.
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -33,6 +39,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "support/args.hpp"
@@ -46,6 +53,7 @@ using namespace aa;
 struct Sample {
   std::string name;
   std::string labels;  ///< Raw label body without braces; empty when none.
+  std::map<std::string, std::string> label_map;  ///< Parsed, unescaped.
   double value = 0.0;
 };
 
@@ -66,6 +74,90 @@ bool valid_name(std::string_view name) {
     if (!ok(c, false)) return false;
   }
   return true;
+}
+
+bool valid_label_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto ok = [](char c, bool first) {
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    return alpha || c == '_' || (digit && !first);
+  };
+  if (!ok(name.front(), true)) return false;
+  for (const char c : name.substr(1)) {
+    if (!ok(c, false)) return false;
+  }
+  return true;
+}
+
+/// Parses a label body (the text between the braces) against the
+/// exposition grammar: `name="value"` pairs separated by commas, values
+/// quoted with only \\ \" \n escapes, no duplicate keys. Violations are
+/// appended to `errors` tagged with `context`; the parsed (unescaped)
+/// pairs are returned either way.
+std::map<std::string, std::string> parse_labels(
+    std::string_view body, std::vector<std::string>& errors,
+    const std::string& context) {
+  std::map<std::string, std::string> labels;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    const std::size_t eq = body.find('=', pos);
+    if (eq == std::string_view::npos) {
+      errors.push_back("label without '=': " + context);
+      return labels;
+    }
+    const std::string name(body.substr(pos, eq - pos));
+    if (!valid_label_name(name)) {
+      errors.push_back("invalid label name '" + name + "': " + context);
+    }
+    if (eq + 1 >= body.size() || body[eq + 1] != '"') {
+      errors.push_back("unquoted label value: " + context);
+      return labels;
+    }
+    std::string value;
+    std::size_t i = eq + 2;
+    bool closed = false;
+    for (; i < body.size(); ++i) {
+      const char c = body[i];
+      if (c == '\\') {
+        if (i + 1 >= body.size()) break;
+        const char escaped = body[++i];
+        if (escaped == '\\' || escaped == '"') {
+          value.push_back(escaped);
+        } else if (escaped == 'n') {
+          value.push_back('\n');
+        } else {
+          errors.push_back(std::string("bad label escape '\\") + escaped +
+                           "': " + context);
+        }
+      } else if (c == '"') {
+        closed = true;
+        ++i;
+        break;
+      } else {
+        value.push_back(c);
+      }
+    }
+    if (!closed) {
+      errors.push_back("unterminated label value: " + context);
+      return labels;
+    }
+    if (!labels.emplace(name, value).second) {
+      errors.push_back("duplicate label '" + name + "': " + context);
+    }
+    if (i < body.size()) {
+      if (body[i] != ',') {
+        errors.push_back("expected ',' between labels: " + context);
+        return labels;
+      }
+      ++i;
+      if (i >= body.size()) {
+        errors.push_back("trailing ',' in labels: " + context);
+      }
+    }
+    pos = i;
+  }
+  return labels;
 }
 
 std::optional<double> parse_value(const std::string& text) {
@@ -131,6 +223,7 @@ Exposition parse_exposition(const std::string& body,
         continue;
       }
       sample.labels = line.substr(name_end + 1, brace - name_end - 1);
+      sample.label_map = parse_labels(sample.labels, errors, line);
       value_start = brace + 1;
     }
     const std::optional<double> value =
@@ -217,9 +310,68 @@ double value_or_zero(const Exposition& exposition, std::string_view name,
   return find_value(exposition, name, label_part).value_or(0.0);
 }
 
+/// Per-tenant values of family `name`, keyed by the tenant label; samples
+/// without a tenant label are skipped, multiple samples per tenant (e.g.
+/// the per-path solve counters) are summed.
+std::map<std::string, double> by_tenant(const Exposition& exposition,
+                                        std::string_view name) {
+  std::map<std::string, double> out;
+  for (const Sample& sample : exposition.samples) {
+    if (sample.name != name) continue;
+    const auto tenant = sample.label_map.find("tenant");
+    if (tenant == sample.label_map.end()) continue;
+    out[tenant->second] += sample.value;
+  }
+  return out;
+}
+
+/// Top tenants by request rate (requests_total when no rate yet), one row
+/// each. Only rendered in multi-tenant deployments — a lone default
+/// tenant adds nothing over the global rows.
+void render_tenants(const Exposition& exposition,
+                    const std::map<std::string, double>& tenant_rates) {
+  constexpr std::size_t kTopTenants = 5;
+  const std::map<std::string, double> requests =
+      by_tenant(exposition, "aa_svc_tenant_requests_total");
+  if (requests.size() < 2) return;
+  const std::map<std::string, double> errors =
+      by_tenant(exposition, "aa_svc_tenant_errors_total");
+  const std::map<std::string, double> threads =
+      by_tenant(exposition, "aa_svc_tenant_threads");
+  const std::map<std::string, double> slices =
+      by_tenant(exposition, "aa_svc_tenant_slice_units");
+  const auto rate_of = [&](const std::string& tenant) {
+    const auto it = tenant_rates.find(tenant);
+    return it == tenant_rates.end() ? 0.0 : it->second;
+  };
+  std::vector<std::pair<std::string, double>> order(requests.begin(),
+                                                    requests.end());
+  std::sort(order.begin(), order.end(), [&](const auto& a, const auto& b) {
+    const double ra = rate_of(a.first);
+    const double rb = rate_of(b.first);
+    if (ra != rb) return ra > rb;
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // Deterministic tie-break.
+  });
+  std::cout << "tenants   " << requests.size() << " total, top "
+            << std::min(kTopTenants, order.size()) << " by req/s:\n";
+  for (std::size_t i = 0; i < order.size() && i < kTopTenants; ++i) {
+    const std::string& tenant = order[i].first;
+    const auto value = [&](const std::map<std::string, double>& table) {
+      const auto it = table.find(tenant);
+      return it == table.end() ? 0.0 : it->second;
+    };
+    std::cout << "  " << tenant << "  req " << order[i].second << " ("
+              << rate_of(tenant) << "/s)  err " << value(errors)
+              << "  threads " << value(threads) << "  slice "
+              << value(slices) << "\n";
+  }
+}
+
 void render_dashboard(const Exposition& exposition,
                       const std::string& socket_path,
-                      std::optional<double> request_rate) {
+                      std::optional<double> request_rate,
+                      const std::map<std::string, double>& tenant_rates) {
   const auto line_quantiles = [&](const char* label,
                                   const std::string& family) {
     std::cout << label << "p50 "
@@ -285,6 +437,7 @@ void render_dashboard(const Exposition& exposition,
             << "  histogram "
             << value_or_zero(exposition, "aa_obs_histogram_dropped_total")
             << "\n";
+  render_tenants(exposition, tenant_rates);
   std::cout.flush();
 }
 
@@ -330,6 +483,7 @@ int main(int argc, char** argv) {
 
     bool all_valid = true;
     std::optional<double> previous_requests;
+    std::map<std::string, double> previous_tenant_requests;
     auto previous_time = std::chrono::steady_clock::now();
     for (long long i = 0; iterations == 0 || i < iterations; ++i) {
       if (i > 0) {
@@ -345,15 +499,28 @@ int main(int argc, char** argv) {
         all_valid = false;
       }
       const auto now = std::chrono::steady_clock::now();
+      const double dt =
+          std::chrono::duration<double>(now - previous_time).count();
       std::optional<double> rate;
       const std::optional<double> requests =
           find_value(exposition, "aa_svc_requests_total");
-      if (previous_requests.has_value() && requests.has_value()) {
-        const double dt = std::chrono::duration<double>(now - previous_time)
-                              .count();
-        if (dt > 0.0) rate = (*requests - *previous_requests) / dt;
+      if (previous_requests.has_value() && requests.has_value() &&
+          dt > 0.0) {
+        rate = (*requests - *previous_requests) / dt;
+      }
+      const std::map<std::string, double> tenant_requests =
+          by_tenant(exposition, "aa_svc_tenant_requests_total");
+      std::map<std::string, double> tenant_rates;
+      if (!previous_tenant_requests.empty() && dt > 0.0) {
+        for (const auto& [tenant, count] : tenant_requests) {
+          const auto it = previous_tenant_requests.find(tenant);
+          if (it != previous_tenant_requests.end()) {
+            tenant_rates[tenant] = (count - it->second) / dt;
+          }
+        }
       }
       previous_requests = requests;
+      previous_tenant_requests = tenant_requests;
       previous_time = now;
       if (raw) {
         std::cout << body;
@@ -362,7 +529,7 @@ int main(int argc, char** argv) {
         if (!once && iterations != 1) {
           std::cout << "\x1b[H\x1b[2J";  // Home + clear, plain ANSI.
         }
-        render_dashboard(exposition, socket_path, rate);
+        render_dashboard(exposition, socket_path, rate, tenant_rates);
       }
     }
     return all_valid ? 0 : 1;
