@@ -1,0 +1,38 @@
+# Negative-compile checks for the thread-safety annotations in
+# src/support/sync.hpp: each tests/ts_fixtures/fail_*.cpp contains one
+# locking mistake (unguarded access, missing AA_REQUIRES at a call site,
+# double acquire) that Clang -Werror=thread-safety must reject, registered
+# as a ctest with WILL_FAIL so a silently-accepted fixture fails the
+# suite. pass_annotated.cpp is the positive control: it proves the
+# harness flags mistakes rather than everything. Mirrors the spirit of
+# cmake/HeaderSelfCheck.cmake — the analysis is only trustworthy if its
+# failure mode is exercised. Clang-only: GCC expands the annotation
+# macros to nothing, so there the fixtures are skipped entirely.
+
+option(AA_THREAD_SAFETY_FIXTURES
+  "Register negative-compile ctests for the sync.hpp annotations (Clang)"
+  ON)
+
+if(NOT AA_THREAD_SAFETY_FIXTURES)
+  return()
+endif()
+if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  return()
+endif()
+
+file(GLOB AA_TS_FIXTURES CONFIGURE_DEPENDS
+  ${CMAKE_SOURCE_DIR}/tests/ts_fixtures/*.cpp)
+
+foreach(fixture ${AA_TS_FIXTURES})
+  get_filename_component(stem ${fixture} NAME_WE)
+  add_test(NAME ThreadSafetyFixture.${stem}
+    COMMAND ${CMAKE_CXX_COMPILER}
+      -std=c++${CMAKE_CXX_STANDARD} -fsyntax-only
+      -Wthread-safety -Werror=thread-safety
+      -I ${CMAKE_SOURCE_DIR}/src
+      ${fixture})
+  if(stem MATCHES "^fail_")
+    set_tests_properties(ThreadSafetyFixture.${stem} PROPERTIES
+      WILL_FAIL TRUE)
+  endif()
+endforeach()

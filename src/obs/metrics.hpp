@@ -7,11 +7,12 @@
 // merging across ThreadPool workers follows the same Chan parallel-update
 // rule as the experiment harness), and named log2-bucketed histograms
 // (histogram.hpp) for distribution-shaped samples — latencies, queue
-// depths, batch sizes. Metrics itself is NOT thread-safe: the intended
-// pattern is one Metrics per worker, merged at the join point — exactly
-// like RunningStats, and histograms merge bucket-wise with zero loss — or
-// a Session (session.hpp), which wraps one Metrics behind a mutex for
-// ad-hoc cross-thread recording.
+// depths, batch sizes. Metrics itself is NOT thread-safe and carries no
+// support/sync.hpp annotations: the intended pattern is one Metrics per
+// worker, merged at the join point — exactly like RunningStats, and
+// histograms merge bucket-wise with zero loss — or a Session
+// (session.hpp), which wraps one Metrics behind an annotated
+// support::Mutex for ad-hoc cross-thread recording.
 
 #include <cstdint>
 #include <functional>

@@ -65,17 +65,17 @@ Session* Session::current() noexcept {
 }
 
 void Session::count(std::string_view name, std::int64_t delta) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   metrics_.count(name, delta);
 }
 
 void Session::time(std::string_view name, double wall_ms, double cpu_ms) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   metrics_.time(name, wall_ms, cpu_ms);
 }
 
 void Session::sample(std::string_view name, double value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   if (!metrics_.sample(name, value)) {
     metrics_.count(metric::kObsHistogramDropped, 1);
   }
@@ -83,7 +83,7 @@ void Session::sample(std::string_view name, double value) {
 
 TraceRing* Session::thread_ring() {
   if (g_ring_cache.session_id != id_) {
-    const std::lock_guard<std::mutex> lock(rings_mutex_);
+    const support::MutexLock lock(rings_mutex_);
     const int tid = static_cast<int>(rings_.size());
     rings_.push_back(std::make_unique<TraceRing>(tid, kMaxTraceEvents));
     g_ring_cache.ring = rings_.back().get();
@@ -97,7 +97,7 @@ void Session::add_trace(TraceEvent event) {
 }
 
 void Session::add_certificate(Certificate certificate) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   if (certificates_.size() >= kMaxCertificates) {
     metrics_.count(metric::kObsCertificatesDropped, 1);
     // The *last* certificate is what to_json flattens, so keep it fresh:
@@ -115,7 +115,7 @@ double Session::elapsed_ms() const noexcept {
 Metrics Session::metrics() const {
   Metrics snapshot;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const support::MutexLock lock(mutex_);
     snapshot = metrics_;
   }
   std::int64_t trace_dropped = 0;
@@ -133,7 +133,7 @@ Metrics Session::metrics() const {
 std::vector<TraceEvent> Session::trace() const {
   std::vector<const TraceRing*> rings;
   {
-    const std::lock_guard<std::mutex> lock(rings_mutex_);
+    const support::MutexLock lock(rings_mutex_);
     rings.reserve(rings_.size());
     for (const auto& ring : rings_) rings.push_back(ring.get());
   }
@@ -155,7 +155,7 @@ std::vector<TraceEvent> Session::trace() const {
 std::vector<TraceRingInfo> Session::trace_rings() const {
   std::vector<const TraceRing*> rings;
   {
-    const std::lock_guard<std::mutex> lock(rings_mutex_);
+    const support::MutexLock lock(rings_mutex_);
     rings.reserve(rings_.size());
     for (const auto& ring : rings_) rings.push_back(ring.get());
   }
@@ -168,7 +168,7 @@ std::vector<TraceRingInfo> Session::trace_rings() const {
 }
 
 std::vector<Certificate> Session::certificates() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return certificates_;
 }
 

@@ -42,7 +42,6 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -51,6 +50,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace_ring.hpp"
 #include "support/json.hpp"
+#include "support/sync.hpp"
 
 #ifndef AA_OBS_ENABLED
 #define AA_OBS_ENABLED 1
@@ -110,12 +110,17 @@ class Session {
   /// assigning the next tid ordinal) on first use.
   [[nodiscard]] TraceRing* thread_ring();
 
-  mutable std::mutex mutex_;
-  Metrics metrics_;
-  std::vector<Certificate> certificates_;
+  // Lock order: leaf. Never held together with rings_mutex_ (the trace
+  // path and the metrics path are independent); nothing is acquired
+  // under it.
+  mutable support::Mutex mutex_;
+  Metrics metrics_ AA_GUARDED_BY(mutex_);
+  std::vector<Certificate> certificates_ AA_GUARDED_BY(mutex_);
 
-  mutable std::mutex rings_mutex_;
-  std::vector<std::unique_ptr<TraceRing>> rings_;
+  // Lock order: leaf. Guards ring registration/enumeration only — each
+  // TraceRing then has its own leaf mutex for its contents.
+  mutable support::Mutex rings_mutex_;
+  std::vector<std::unique_ptr<TraceRing>> rings_ AA_GUARDED_BY(rings_mutex_);
 
   Session* previous_ = nullptr;
   std::uint64_t id_ = 0;  ///< Process-unique, for thread-local ring lookup.

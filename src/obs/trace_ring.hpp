@@ -19,9 +19,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "support/sync.hpp"
 
 namespace aa::obs {
 
@@ -54,7 +55,7 @@ class TraceRing {
   /// drop once the ring is full. Cheap: the mutex is only ever contended
   /// against a snapshot in flight.
   void push(TraceEvent event) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const support::MutexLock lock(mutex_);
     if (events_.size() >= capacity_) {
       ++dropped_;
       return;
@@ -65,7 +66,7 @@ class TraceRing {
 
   /// Copies the recorded events (in recording order).
   [[nodiscard]] std::vector<TraceEvent> snapshot() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const support::MutexLock lock(mutex_);
     return events_;
   }
 
@@ -73,22 +74,24 @@ class TraceRing {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
   [[nodiscard]] std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const support::MutexLock lock(mutex_);
     return events_.size();
   }
 
   /// Events rejected because the ring was full.
   [[nodiscard]] std::int64_t dropped() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const support::MutexLock lock(mutex_);
     return dropped_;
   }
 
  private:
-  mutable std::mutex mutex_;
+  // Lock order: leaf — only ever contended against a snapshot in flight;
+  // nothing else is acquired while held.
+  mutable support::Mutex mutex_;
   const int tid_;
   const std::size_t capacity_;
-  std::vector<TraceEvent> events_;
-  std::int64_t dropped_ = 0;
+  std::vector<TraceEvent> events_ AA_GUARDED_BY(mutex_);
+  std::int64_t dropped_ AA_GUARDED_BY(mutex_) = 0;
 };
 
 /// Summary of one ring for drop reporting (the `metrics` verb exposes

@@ -1,0 +1,261 @@
+#pragma once
+
+// Annotated concurrency vocabulary: thin wrappers over the standard
+// primitives that carry Clang thread-safety capability attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), so lock
+// contracts that used to live in prose ("caller must hold every turn
+// lock", "brief leaf lock") are checked at compile time under
+// -Werror=thread-safety (the AA_THREAD_SAFETY CMake toggle, default ON
+// for Clang). On non-Clang compilers every macro below expands to
+// nothing and the wrappers behave exactly like the std types they wrap.
+//
+// Conventions (enforced by tools/aa_lint, check `concurrency`):
+//   - All lock-holding code in src/ and tools/ uses these wrappers;
+//     naked std::mutex / std::lock_guard / std::unique_lock /
+//     std::condition_variable are banned outside this header.
+//   - Every Mutex/SharedMutex/PhantomMutex declaration carries a
+//     "Lock order:" comment naming its place in the lock hierarchy.
+//   - Every function named *_locked declares its AA_REQUIRES contract.
+//
+// The wrapper bodies are AA_NO_THREAD_SAFETY_ANALYSIS: they manipulate
+// the unannotated std primitives, which the analysis cannot see through.
+// The attributes on the *declarations* are what callers are checked
+// against. See docs/STATIC_ANALYSIS.md ("Compiler-checked locking").
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define AA_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+/// 1 when the annotations are live attributes (Clang), 0 when they
+/// expand to nothing; sync_test uses this for its compile-only guard.
+#define AA_THREAD_SAFETY_ANNOTATIONS_ENABLED 1
+#else
+#define AA_THREAD_ANNOTATION_ATTRIBUTE__(x)
+#define AA_THREAD_SAFETY_ANNOTATIONS_ENABLED 0
+#endif
+
+/// Declares a class to be a capability (lockable) named `x` in
+/// diagnostics, e.g. class AA_CAPABILITY("mutex") Mutex.
+#define AA_CAPABILITY(x) AA_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII class whose lifetime equals a critical section.
+#define AA_SCOPED_CAPABILITY \
+  AA_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member may only be read/written while holding `x`.
+#define AA_GUARDED_BY(x) AA_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member: the *pointee* may only be touched while holding `x`
+/// (the pointer itself is unguarded).
+#define AA_PT_GUARDED_BY(x) \
+  AA_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function requires the caller to hold `...` exclusively (and does not
+/// release it). The annotated-function analogue of a `_locked` suffix.
+#define AA_REQUIRES(...) \
+  AA_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function requires at least shared (reader) access to `...`.
+#define AA_REQUIRES_SHARED(...) \
+  AA_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires `...` exclusively and holds it on return.
+#define AA_ACQUIRE(...) \
+  AA_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function acquires `...` shared and holds it on return.
+#define AA_ACQUIRE_SHARED(...) \
+  AA_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases `...`, which the caller must hold on entry.
+#define AA_RELEASE(...) \
+  AA_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function releases shared access to `...`.
+#define AA_RELEASE_SHARED(...) \
+  AA_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; holds the capability iff the
+/// return value equals the first argument.
+#define AA_TRY_ACQUIRE(...) \
+  AA_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold `...` (deadlock guard for re-entrant paths).
+#define AA_EXCLUDES(...) \
+  AA_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Declaration-site lock-order edges: this capability is acquired
+/// after/before the listed ones. Checked under -Wthread-safety-beta
+/// (documented opt-in; see docs/STATIC_ANALYSIS.md) and always valuable
+/// as a machine-readable statement of the hierarchy.
+#define AA_ACQUIRED_AFTER(...) \
+  AA_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+#define AA_ACQUIRED_BEFORE(...) \
+  AA_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+/// Asserts (without acquiring) that the calling thread holds `...`;
+/// re-introduces dynamically-acquired locks to the analysis.
+#define AA_ASSERT_CAPABILITY(...) \
+  AA_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(__VA_ARGS__))
+
+/// Function returns a reference to the capability `x`.
+#define AA_RETURN_CAPABILITY(x) \
+  AA_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: body is not analyzed. Use only for code the analysis
+/// cannot express (and say why in a comment).
+#define AA_NO_THREAD_SAFETY_ANALYSIS \
+  AA_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace aa::support {
+
+/// std::mutex with a capability attribute. Lock it through MutexLock
+/// (preferred) or the explicit lock()/unlock() pair; CondVar waits on
+/// it directly.
+class AA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AA_ACQUIRE() AA_NO_THREAD_SAFETY_ANALYSIS { mutex_.lock(); }
+  void unlock() AA_RELEASE() AA_NO_THREAD_SAFETY_ANALYSIS {
+    mutex_.unlock();
+  }
+  [[nodiscard]] bool try_lock() AA_TRY_ACQUIRE(true)
+      AA_NO_THREAD_SAFETY_ANALYSIS {
+    return mutex_.try_lock();
+  }
+
+  /// The wrapped primitive, for CondVar's adopt/release dance only.
+  [[nodiscard]] std::mutex& native() noexcept { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// std::shared_mutex with a capability attribute; pair with
+/// MutexLock (writer) or ReaderMutexLock (shared).
+class AA_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() AA_ACQUIRE() AA_NO_THREAD_SAFETY_ANALYSIS { mutex_.lock(); }
+  void unlock() AA_RELEASE() AA_NO_THREAD_SAFETY_ANALYSIS {
+    mutex_.unlock();
+  }
+  void lock_shared() AA_ACQUIRE_SHARED() AA_NO_THREAD_SAFETY_ANALYSIS {
+    mutex_.lock_shared();
+  }
+  void unlock_shared() AA_RELEASE_SHARED() AA_NO_THREAD_SAFETY_ANALYSIS {
+    mutex_.unlock_shared();
+  }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+/// A capability with no runtime state: names a lock set the analysis
+/// cannot express directly (e.g. "every shard's turn lock"). A scoped
+/// guard that really takes the constituent locks acquires the phantom
+/// alongside them, and AA_REQUIRES(phantom) then states the contract on
+/// downstream functions. Costs nothing on any compiler.
+class AA_CAPABILITY("mutex") PhantomMutex {
+ public:
+  PhantomMutex() = default;
+  PhantomMutex(const PhantomMutex&) = delete;
+  PhantomMutex& operator=(const PhantomMutex&) = delete;
+
+  void acquire() AA_ACQUIRE() AA_NO_THREAD_SAFETY_ANALYSIS {}
+  void release() AA_RELEASE() AA_NO_THREAD_SAFETY_ANALYSIS {}
+};
+
+/// RAII exclusive lock of a Mutex (scoped capability). Supports early
+/// release for the unlock-before-notify idiom.
+class AA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) AA_ACQUIRE(mutex)
+      AA_NO_THREAD_SAFETY_ANALYSIS : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() AA_RELEASE() AA_NO_THREAD_SAFETY_ANALYSIS {
+    if (held_) mutex_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases before end of scope (e.g. to notify a CondVar without the
+  /// wakee immediately blocking on the mutex).
+  void unlock() AA_RELEASE() AA_NO_THREAD_SAFETY_ANALYSIS {
+    mutex_.unlock();
+    held_ = false;
+  }
+
+ private:
+  Mutex& mutex_;
+  bool held_ = true;
+};
+
+/// RAII shared (reader) lock of a SharedMutex.
+class AA_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mutex) AA_ACQUIRE_SHARED(mutex)
+      AA_NO_THREAD_SAFETY_ANALYSIS : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~ReaderMutexLock() AA_RELEASE() AA_NO_THREAD_SAFETY_ANALYSIS {
+    mutex_.unlock_shared();
+  }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Condition variable that waits on an aa::support::Mutex. The predicate
+/// loop stays at the call site (`while (!pred) cv.wait(mutex);`) so the
+/// guarded reads inside the predicate are analyzed in the caller's
+/// context — lambda predicates would be analyzed as unrelated functions
+/// and defeat the checking.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks, and re-acquires before
+  /// returning. Spurious wakeups happen; always wait in a loop.
+  void wait(Mutex& mutex) AA_REQUIRES(mutex) AA_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mutex.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // The caller still holds the mutex.
+  }
+
+  /// wait() with a deadline; returns std::cv_status::timeout when the
+  /// deadline passed (the mutex is re-acquired either way).
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& mutex, const std::chrono::time_point<Clock, Duration>& deadline)
+      AA_REQUIRES(mutex) AA_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mutex.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();  // The caller still holds the mutex.
+    return status;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace aa::support

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -27,7 +27,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     tasks_.push(std::move(packaged));
   }
   cv_.notify_one();
@@ -38,8 +38,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      const MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) cv_.wait(mutex_);
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop();

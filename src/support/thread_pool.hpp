@@ -6,16 +6,16 @@
 // independently (see support/prng.hpp), so the schedule never affects results.
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "support/sync.hpp"
 
 namespace aa::support {
 
@@ -36,16 +36,17 @@ class ThreadPool {
   }
 
   /// Enqueues a task; the returned future reports completion or exception.
-  std::future<void> submit(std::function<void()> task);
+  std::future<void> submit(std::function<void()> task) AA_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() AA_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::queue<std::packaged_task<void()>> tasks_;
+  // Lock order: leaf — nothing else is acquired while held.
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::packaged_task<void()>> tasks_ AA_GUARDED_BY(mutex_);
   std::vector<std::thread> threads_;
-  bool stopping_ = false;
+  bool stopping_ AA_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs body(i) for i in [begin, end) across the pool with static chunking.

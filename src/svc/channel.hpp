@@ -50,6 +50,11 @@ class FdHandle {
 };
 
 /// Buffered reader/writer of '\n'-terminated lines over a socket fd.
+///
+/// Not thread-safe: each LineChannel is owned by exactly one connection
+/// loop (server.cpp) or one client worker (aa_loadgen). Cross-thread
+/// reply writes go through the connection's annotated write mutex, not
+/// through this class — see SocketServer::Connection in server.cpp.
 class LineChannel {
  public:
   explicit LineChannel(int fd, std::size_t max_line_bytes)

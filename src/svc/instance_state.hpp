@@ -11,8 +11,14 @@
 // results can be reported per thread id and placements carried across
 // versions by id rather than by position.
 //
-// Not thread-safe by itself — the service serializes all access (one
-// request batch at a time, see service.hpp).
+// Not thread-safe by itself, and deliberately free of support/sync.hpp
+// vocabulary: every InstanceState lives inside a Tenant owned by exactly
+// one Service shard, and the shard's turn_mutex (the root of the lock
+// hierarchy in service.hpp) serializes all access — one request batch at
+// a time. The thread-safety analysis guards the map that reaches this
+// object (Shard::tenants is AA_GUARDED_BY(turn_mutex)); it cannot see
+// through the map into these members, which is why the ownership rule is
+// stated here instead.
 
 #include <cstdint>
 #include <optional>

@@ -9,6 +9,7 @@
 #include <ostream>
 #include <utility>
 
+#include "support/sync.hpp"
 #include "svc/protocol.hpp"
 
 namespace aa::svc {
@@ -27,20 +28,22 @@ std::string too_large_message(std::size_t max_line_bytes) {
 /// shared_ptr drops.
 struct SocketServer::Connection {
   FdHandle fd;
-  std::mutex write_mutex;
-  bool open = true;  ///< Guarded by write_mutex.
+  // Lock order: leaf — serializes reply writes; nothing is acquired
+  // while held.
+  support::Mutex write_mutex;
+  bool open AA_GUARDED_BY(write_mutex) = true;
 
-  bool send(const std::string& line) {
-    std::lock_guard<std::mutex> lock(write_mutex);
+  bool send(const std::string& line) AA_EXCLUDES(write_mutex) {
+    const support::MutexLock lock(write_mutex);
     if (!open) return false;
     return send_line(fd.get(), line);
   }
 
-  void close() noexcept {
+  void close() noexcept AA_EXCLUDES(write_mutex) {
     // Shutdown before taking the mutex: it unblocks a send() stuck on a
     // full socket (which holds the mutex) instead of deadlocking behind it.
     fd.shutdown_both();
-    std::lock_guard<std::mutex> lock(write_mutex);
+    const support::MutexLock lock(write_mutex);
     open = false;
   }
 };
@@ -76,7 +79,7 @@ void SocketServer::run() {
     }
     auto connection = std::make_shared<Connection>();
     connection->fd = std::move(client);
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    const support::MutexLock lock(connections_mutex_);
     threads_.emplace_back(&SocketServer::connection_loop, this, connection);
     connections_.push_back(std::move(connection));
   }
@@ -106,7 +109,7 @@ void SocketServer::connection_loop(std::shared_ptr<Connection> connection) {
 void SocketServer::shutdown_connections() {
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    const support::MutexLock lock(connections_mutex_);
     for (const auto& connection : connections_) connection->close();
     threads.swap(threads_);
     connections_.clear();
@@ -123,12 +126,13 @@ namespace {
 struct StdioWriter {
   explicit StdioWriter(std::ostream& stream) : out(stream) {}
 
-  void write(const std::string& line) {
-    std::lock_guard<std::mutex> lock(mutex);
+  void write(const std::string& line) AA_EXCLUDES(mutex) {
+    const support::MutexLock lock(mutex);
     out << line << '\n' << std::flush;
   }
 
-  std::mutex mutex;
+  // Lock order: leaf — serializes reply writes to the shared stream.
+  support::Mutex mutex;
   std::ostream& out;
 };
 

@@ -8,11 +8,11 @@
 #include <cstddef>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "support/sync.hpp"
 #include "svc/channel.hpp"
 #include "svc/service.hpp"
 
@@ -41,16 +41,19 @@ class SocketServer {
   struct Connection;
 
   void connection_loop(std::shared_ptr<Connection> connection);
-  void shutdown_connections();
+  void shutdown_connections() AA_EXCLUDES(connections_mutex_);
 
   Service& service_;
   std::string socket_path_;
   std::size_t max_line_bytes_;
   FdHandle listener_;
 
-  std::mutex connections_mutex_;
-  std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> threads_;
+  // Lock order: leaf. Guards the connection/thread registries only;
+  // each Connection then has its own leaf write_mutex.
+  support::Mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_
+      AA_GUARDED_BY(connections_mutex_);
+  std::vector<std::thread> threads_ AA_GUARDED_BY(connections_mutex_);
 };
 
 /// Reads request lines from `in` until EOF (or the first line after a

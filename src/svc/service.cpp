@@ -7,6 +7,7 @@
 #include "obs/prometheus.hpp"
 #include "obs/registry.hpp"
 #include "obs/session.hpp"
+#include "support/sync.hpp"
 
 namespace aa::svc {
 
@@ -69,14 +70,19 @@ Service::Service(ServiceConfig config) : config_(config) {
 
   // The default tenant exists from the start (single-tenant clients never
   // name a tenant) and owns the whole pool until others are created.
+  // Single-threaded here (no workers yet), so the locks below are
+  // uncontended; they are taken anyway to satisfy the declared contracts.
   const std::string name(kDefaultTenant);
   Shard& home = *shards_[shard_of(name, config_.shards)];
+  const support::MutexLock home_turn(home.turn_mutex);
   home.tenants.emplace(
       name, std::make_unique<Tenant>(name, TenantQuota{},
                                      config_.num_servers, config_.capacity,
                                      config_.warm));
+  all_turns_.acquire();
   policy_->on_tenant_created(name, config_.karma_opening_credits);
-  redivide_pool_locked();  // Single-threaded here: no locks needed yet.
+  redivide_pool_locked();
+  all_turns_.release();
 }
 
 Service::~Service() { stop(); }
@@ -97,7 +103,7 @@ void Service::start() {
 void Service::stop() {
   for (const std::unique_ptr<Shard>& shard : shards_) {
     {
-      std::lock_guard lock(shard->queue_mutex);
+      const support::MutexLock lock(shard->queue_mutex);
       shard->stopping = true;
     }
     shard->queue_cv.notify_all();
@@ -148,9 +154,9 @@ void Service::submit_line(const std::string& line, ReplyFn reply) {
 
   std::size_t depth = 0;
   {
-    std::lock_guard lock(shard.queue_mutex);
+    const support::MutexLock lock(shard.queue_mutex);
     if (shard.stopping || shutdown_requested()) {
-      std::lock_guard stats(stats_mutex_);
+      const support::MutexLock stats(stats_mutex_);
       ++requests_total_;
       ++errors_total_;
       pending.reply(
@@ -164,7 +170,7 @@ void Service::submit_line(const std::string& line, ReplyFn reply) {
       return;
     }
     if (shard.queue.size() >= config_.max_queue) {
-      std::lock_guard stats(stats_mutex_);
+      const support::MutexLock stats(stats_mutex_);
       ++requests_total_;
       ++errors_total_;
       pending.reply(
@@ -183,7 +189,7 @@ void Service::submit_line(const std::string& line, ReplyFn reply) {
   shard.queue_cv.notify_one();
 
   {
-    std::lock_guard stats(stats_mutex_);
+    const support::MutexLock stats(stats_mutex_);
     ++requests_total_;
     if (op) {
       ++op_counts_[static_cast<std::size_t>(*op)];
@@ -209,7 +215,7 @@ std::vector<Service::Pending> Service::pop_batch(Shard& shard) {
   // holds the shard's turn lock — an unbounded wait here would hold that
   // lock against cross-shard control ops (tenant churn, stats). A peer
   // worker may have raced us to the queue, in which case return empty.
-  std::unique_lock lock(shard.queue_mutex);
+  const support::MutexLock lock(shard.queue_mutex);
   if (shard.queue.empty()) return {};
 
   if (config_.batch_linger_ms > 0.0 &&
@@ -218,9 +224,14 @@ std::vector<Service::Pending> Service::pop_batch(Shard& shard) {
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double, std::milli>(
                                config_.batch_linger_ms));
-    shard.queue_cv.wait_until(lock, linger_until, [&shard, this] {
-      return shard.stopping || shard.queue.size() >= config_.batch_max;
-    });
+    // Manual predicate loop (not a lambda) so the guarded reads stay in
+    // this function's analysis context — support/sync.hpp.
+    while (!shard.stopping && shard.queue.size() < config_.batch_max) {
+      if (shard.queue_cv.wait_until(shard.queue_mutex, linger_until) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
   }
 
   std::vector<Pending> batch;
@@ -237,23 +248,24 @@ void Service::worker_loop(std::size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   for (;;) {
     // Wait for work WITHOUT the turn lock: an idle shard's turn must stay
-    // available to the shard-0 worker's cross-shard ops (lock_other_shards
+    // available to the shard-0 worker's cross-shard ops (AllShardsTurnLock
     // would otherwise deadlock against a parked worker).
     {
-      std::unique_lock lock(shard.queue_mutex);
-      shard.queue_cv.wait(
-          lock, [&shard] { return shard.stopping || !shard.queue.empty(); });
+      const support::MutexLock lock(shard.queue_mutex);
+      while (!shard.stopping && shard.queue.empty()) {
+        shard.queue_cv.wait(shard.queue_mutex);
+      }
       if (shard.queue.empty()) return;  // Stopping and drained.
     }
     std::vector<Pending> batch;
     std::vector<Outgoing> outgoing;
     std::uint64_t seq = 0;
     {
-      std::lock_guard turn(shard.turn_mutex);
+      const support::MutexLock turn(shard.turn_mutex);
       batch = pop_batch(shard);
       if (batch.empty()) continue;  // A peer on this shard raced us to it.
       seq = shard.next_batch_seq++;
-      outgoing = process_batch(shard_index, std::move(batch));
+      outgoing = process_batch(shard, std::move(batch));
     }
     deliver_in_order(shard, seq, std::move(outgoing));
   }
@@ -269,8 +281,8 @@ void Service::deliver_in_order(Shard& shard, std::uint64_t seq,
     rendered.emplace_back(std::move(out.reply), out.value.dump());
   }
 
-  std::unique_lock lock(shard.deliver_mutex);
-  shard.deliver_cv.wait(lock, [&] { return shard.delivered_seq == seq; });
+  support::MutexLock lock(shard.deliver_mutex);
+  while (shard.delivered_seq != seq) shard.deliver_cv.wait(shard.deliver_mutex);
   for (auto& [reply, text] : rendered) {
     try {
       reply(text);
@@ -287,23 +299,36 @@ void Service::deliver_in_order(Shard& shard, std::uint64_t seq,
 void Service::record_latency(const Pending& pending, Clock::time_point now) {
   const double wall_ms = ms_between(pending.enqueued, now);
   {
-    std::lock_guard stats(stats_mutex_);
+    const support::MutexLock stats(stats_mutex_);
     request_latency_ms_.sample(wall_ms);
   }
   obs::sample(obs::metric::kSampleSvcRequest, wall_ms);
 }
 
-std::vector<std::unique_lock<std::mutex>> Service::lock_other_shards() {
-  std::vector<std::unique_lock<std::mutex>> guards;
-  guards.reserve(shards_.size() - 1);
-  for (std::size_t i = 1; i < shards_.size(); ++i) {
-    guards.emplace_back(shards_[i]->turn_mutex);
+// The constituent turn locks live behind a dynamic vector the analysis
+// cannot enumerate, so the bodies are unanalyzed; the attributes on the
+// declarations (acquire/release of the all_turns_ phantom) carry the
+// contract to callers.
+Service::AllShardsTurnLock::AllShardsTurnLock(Service& service)
+    AA_NO_THREAD_SAFETY_ANALYSIS : service_(service) {
+  for (std::size_t i = 1; i < service_.shards_.size(); ++i) {
+    service_.shards_[i]->turn_mutex.lock();
   }
-  return guards;
+  service_.all_turns_.acquire();
+}
+
+Service::AllShardsTurnLock::~AllShardsTurnLock()
+    AA_NO_THREAD_SAFETY_ANALYSIS {
+  service_.all_turns_.release();
+  // Descending, mirroring acquisition.
+  for (std::size_t i = service_.shards_.size(); i-- > 1;) {
+    service_.shards_[i]->turn_mutex.unlock();
+  }
 }
 
 Tenant* Service::find_tenant(std::string_view name) {
   Shard& shard = *shards_[shard_of(name, config_.shards)];
+  assert_turn_held(shard);
   const auto it = shard.tenants.find(name);
   return it == shard.tenants.end() ? nullptr : it->second.get();
 }
@@ -311,8 +336,10 @@ Tenant* Service::find_tenant(std::string_view name) {
 void Service::redivide_pool_locked() {
   std::vector<TenantDemand> demands;
   std::vector<Tenant*> order;
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    for (const auto& [name, tenant] : shard->tenants) {
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    assert_turn_held(shard);
+    for (const auto& [name, tenant] : shard.tenants) {
       TenantDemand demand;
       demand.id = name;
       demand.weight = tenant->quota.weight;
@@ -332,17 +359,18 @@ void Service::redivide_pool_locked() {
     tenant.state.set_solve_capacity(std::max<util::Resource>(1, per_server));
   }
   obs::count(obs::metric::kSvcTenantRedivides);
-  std::lock_guard stats(stats_mutex_);
+  const support::MutexLock stats(stats_mutex_);
   ++pool_redivides_;
 }
 
 JsonValue Service::tenant_admin(const Request& request) {
   const std::string name = request.tenant;
   Shard& home = *shards_[shard_of(name, config_.shards)];
+  assert_turn_held(home);
   switch (request.op) {
     case Op::kTenantCreate: {
       if (home.tenants.find(name) != home.tenants.end()) {
-        std::lock_guard stats(stats_mutex_);
+        const support::MutexLock stats(stats_mutex_);
         ++errors_total_;
         return make_error_reply(error_code::kTenantExists,
                                 "tenant '" + name + "' already exists",
@@ -361,7 +389,7 @@ JsonValue Service::tenant_admin(const Request& request) {
           name, request.credits.value_or(config_.karma_opening_credits));
       obs::count(obs::metric::kSvcTenantCreates);
       {
-        std::lock_guard stats(stats_mutex_);
+        const support::MutexLock stats(stats_mutex_);
         ++tenant_creates_;
       }
       redivide_pool_locked();
@@ -377,7 +405,7 @@ JsonValue Service::tenant_admin(const Request& request) {
     case Op::kTenantUpdate: {
       Tenant* tenant = find_tenant(name);
       if (tenant == nullptr) {
-        std::lock_guard stats(stats_mutex_);
+        const support::MutexLock stats(stats_mutex_);
         ++errors_total_;
         return make_error_reply(error_code::kTenantNotFound,
                                 "no tenant '" + name + "'",
@@ -388,7 +416,7 @@ JsonValue Service::tenant_admin(const Request& request) {
       if (request.max_threads) tenant->quota.max_threads = *request.max_threads;
       obs::count(obs::metric::kSvcTenantUpdates);
       {
-        std::lock_guard stats(stats_mutex_);
+        const support::MutexLock stats(stats_mutex_);
         ++tenant_updates_;
       }
       redivide_pool_locked();
@@ -402,7 +430,7 @@ JsonValue Service::tenant_admin(const Request& request) {
     }
     case Op::kTenantDelete: {
       if (name == kDefaultTenant) {
-        std::lock_guard stats(stats_mutex_);
+        const support::MutexLock stats(stats_mutex_);
         ++errors_total_;
         return make_error_reply(error_code::kBadTenant,
                                 "the default tenant cannot be deleted",
@@ -410,7 +438,7 @@ JsonValue Service::tenant_admin(const Request& request) {
       }
       const auto it = home.tenants.find(name);
       if (it == home.tenants.end()) {
-        std::lock_guard stats(stats_mutex_);
+        const support::MutexLock stats(stats_mutex_);
         ++errors_total_;
         return make_error_reply(error_code::kTenantNotFound,
                                 "no tenant '" + name + "'",
@@ -421,7 +449,7 @@ JsonValue Service::tenant_admin(const Request& request) {
       policy_->on_tenant_deleted(name);
       obs::count(obs::metric::kSvcTenantDeletes);
       {
-        std::lock_guard stats(stats_mutex_);
+        const support::MutexLock stats(stats_mutex_);
         ++tenant_deletes_;
       }
       redivide_pool_locked();
@@ -441,7 +469,9 @@ JsonValue Service::tenant_list_json() {
   JsonValue::Array tenants;
   std::size_t count = 0;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    for (const auto& [name, tenant] : shards_[s]->tenants) {
+    Shard& shard = *shards_[s];
+    assert_turn_held(shard);
+    for (const auto& [name, tenant] : shard.tenants) {
       JsonValue entry;
       entry.set("tenant", name);
       entry.set("shard", s);
@@ -466,14 +496,13 @@ JsonValue Service::tenant_list_json() {
 }
 
 std::vector<Service::Outgoing> Service::process_batch(
-    std::size_t shard_index, std::vector<Pending> batch) {
-  Shard& shard = *shards_[shard_index];
+    Shard& shard, std::vector<Pending> batch) {
   const obs::ScopedPhase phase(obs::metric::kPhaseSvcBatch);
   obs::count(obs::metric::kSvcBatches);
   obs::sample(obs::metric::kSampleSvcBatchSize,
               static_cast<double>(batch.size()));
   {
-    std::lock_guard stats(stats_mutex_);
+    const support::MutexLock stats(stats_mutex_);
     ++batches_;
     batch_size_.sample(static_cast<double>(batch.size()));
   }
@@ -502,14 +531,14 @@ std::vector<Service::Outgoing> Service::process_batch(
         reply = make_error_reply(error_code::kShuttingDown,
                                  "service is shutting down",
                                  op_name(request.op), request.tag);
-        std::lock_guard stats(stats_mutex_);
+        const support::MutexLock stats(stats_mutex_);
         ++errors_total_;
       } else if (started > pending.deadline) {
         reply = make_error_reply(error_code::kTimeout,
                                  "deadline expired before processing",
                                  op_name(request.op), request.tag);
         obs::count(obs::metric::kSvcTimeouts);
-        std::lock_guard stats(stats_mutex_);
+        const support::MutexLock stats(stats_mutex_);
         ++errors_total_;
         ++timeouts_;
       } else if (tenant_scoped(request.op)) {
@@ -522,7 +551,7 @@ std::vector<Service::Outgoing> Service::process_batch(
               error_code::kTenantNotFound,
               "no tenant '" + std::string(name) + "'",
               op_name(request.op), request.tag);
-          std::lock_guard stats(stats_mutex_);
+          const support::MutexLock stats(stats_mutex_);
           ++errors_total_;
         } else {
           ++tenant->requests;
@@ -538,7 +567,7 @@ std::vector<Service::Outgoing> Service::process_batch(
                         "-thread quota",
                     op_name(request.op), request.tag);
                 ++tenant->errors;
-                std::lock_guard stats(stats_mutex_);
+                const support::MutexLock stats(stats_mutex_);
                 ++errors_total_;
                 break;
               }
@@ -565,7 +594,7 @@ std::vector<Service::Outgoing> Service::process_batch(
                     "no thread with id " + std::to_string(*request.id),
                     op_name(request.op), request.tag);
                 ++tenant->errors;
-                std::lock_guard stats(stats_mutex_);
+                const support::MutexLock stats(stats_mutex_);
                 ++errors_total_;
               }
               break;
@@ -589,7 +618,7 @@ std::vector<Service::Outgoing> Service::process_batch(
                     "no thread with id " + std::to_string(*request.id),
                     op_name(request.op), request.tag);
                 ++tenant->errors;
-                std::lock_guard stats(stats_mutex_);
+                const support::MutexLock stats(stats_mutex_);
                 ++errors_total_;
               }
               break;
@@ -609,13 +638,13 @@ std::vector<Service::Outgoing> Service::process_batch(
       } else {
         switch (request.op) {
           case Op::kStats: {
-            const auto guards = lock_other_shards();
+            const AllShardsTurnLock guards(*this);
             reply = make_ok_reply(request.op, request.tag);
             merge_into(reply, stats_json());
             break;
           }
           case Op::kMetrics: {
-            const auto guards = lock_other_shards();
+            const AllShardsTurnLock guards(*this);
             reply = make_ok_reply(request.op, request.tag);
             reply.set("content_type", "text/plain; version=0.0.4");
             reply.set("body", metrics_text());
@@ -625,7 +654,7 @@ std::vector<Service::Outgoing> Service::process_batch(
             shutdown_requested_.store(true, std::memory_order_release);
             for (const std::unique_ptr<Shard>& other : shards_) {
               {
-                std::lock_guard lock(other->queue_mutex);
+                const support::MutexLock lock(other->queue_mutex);
                 other->stopping = true;
               }
               other->queue_cv.notify_all();
@@ -637,12 +666,12 @@ std::vector<Service::Outgoing> Service::process_batch(
           case Op::kTenantCreate:
           case Op::kTenantUpdate:
           case Op::kTenantDelete: {
-            const auto guards = lock_other_shards();
+            const AllShardsTurnLock guards(*this);
             reply = tenant_admin(request);
             break;
           }
           case Op::kTenantList: {
-            const auto guards = lock_other_shards();
+            const AllShardsTurnLock guards(*this);
             reply = make_ok_reply(request.op, request.tag);
             merge_into(reply, tenant_list_json());
             break;
@@ -655,7 +684,7 @@ std::vector<Service::Outgoing> Service::process_batch(
       reply = make_error_reply(error_code::kInternal, error.what(),
                                op_name(request.op), request.tag);
       obs::count(obs::metric::kSvcInternalErrors);
-      std::lock_guard stats(stats_mutex_);
+      const support::MutexLock stats(stats_mutex_);
       ++errors_total_;
     }
     out.push_back(Outgoing{pending.reply, std::move(reply)});
@@ -670,7 +699,7 @@ std::vector<Service::Outgoing> Service::process_batch(
         out[slot].value = make_error_reply(
             error_code::kTenantNotFound, "no tenant '" + name + "'",
             op_name(Op::kSolve), batch[slot].request.tag);
-        std::lock_guard stats(stats_mutex_);
+        const support::MutexLock stats(stats_mutex_);
         ++errors_total_;
       }
       continue;
@@ -693,7 +722,7 @@ std::vector<Service::Outgoing> Service::process_batch(
       }
       ++tenant->solves_by_path[static_cast<std::size_t>(solved.path)];
       {
-        std::lock_guard stats(stats_mutex_);
+        const support::MutexLock stats(stats_mutex_);
         ++solves_by_path_[static_cast<std::size_t>(solved.path)];
         solves_coalesced_ +=
             static_cast<std::int64_t>(group.slots.size()) - 1;
@@ -720,7 +749,7 @@ std::vector<Service::Outgoing> Service::process_batch(
         out[slot].value =
             make_error_reply(error_code::kInternal, error.what(),
                              op_name(Op::kSolve), batch[slot].request.tag);
-        std::lock_guard stats(stats_mutex_);
+        const support::MutexLock stats(stats_mutex_);
         ++errors_total_;
       }
     }
@@ -768,7 +797,7 @@ JsonValue Service::solve_payload(const ServiceSolveResult& solved,
 std::size_t Service::total_queue_depth() {
   std::size_t depth = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard lock(shard->queue_mutex);
+    const support::MutexLock lock(shard->queue_mutex);
     depth += shard->queue.size();
   }
   return depth;
@@ -780,8 +809,10 @@ JsonValue Service::stats_json() {
   std::size_t threads = 0;
   std::uint64_t version = 0;
   std::size_t tenant_count = 0;
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    for (const auto& [name, tenant] : shard->tenants) {
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    assert_turn_held(shard);
+    for (const auto& [name, tenant] : shard.tenants) {
       threads += tenant->state.num_threads();
       version += tenant->state.version();
       ++tenant_count;
@@ -802,7 +833,7 @@ JsonValue Service::stats_json() {
     return node;
   };
 
-  std::lock_guard stats(stats_mutex_);
+  const support::MutexLock stats(stats_mutex_);
   JsonValue payload;
   payload.set("threads", threads);
   payload.set("servers", config_.num_servers);
@@ -871,8 +902,10 @@ std::string Service::metrics_text() {
     const Tenant* tenant = nullptr;
   };
   std::vector<Row> rows;
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    for (const auto& [name, tenant] : shard->tenants) {
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    assert_turn_held(shard);
+    for (const auto& [name, tenant] : shard.tenants) {
       threads += tenant->state.num_threads();
       version += tenant->state.version();
       ++tenant_count;
@@ -930,7 +963,7 @@ std::string Service::metrics_text() {
                            policy_->credits(row.tenant->name));
   }
 
-  std::lock_guard stats(stats_mutex_);
+  const support::MutexLock stats(stats_mutex_);
   obs::prometheus_counter(out, "aa_svc_requests_total", requests_total_);
   obs::prometheus_header(out, "aa_svc_requests_by_op_total", "counter");
   for (const Op op :

@@ -50,23 +50,38 @@
 // histogram samples, queue-wait spans and warm-start path instants on the
 // trace rings), so `aa_serve --metrics` and `--trace-out` export them
 // through the session paths.
+//
+// Lock hierarchy (machine-checked through the support/sync.hpp
+// annotations under Clang -Werror=thread-safety; the table in
+// docs/ARCHITECTURE.md mirrors this comment):
+//
+//   shard.turn_mutex       shard 0's first, then the others ascending
+//     -> shard.queue_mutex (AllShardsTurnLock; only the shard-0 worker
+//       -> stats_mutex_     ever holds more than one turn lock)
+//   shard.deliver_mutex    independent: held alone while replies drain
+//
+// queue_mutex is also taken on its own by submit_line (producers never
+// touch a turn lock), and stats_mutex_ is a brief leaf taken from any
+// path. The inexpressible "every shard's turn lock" set is named by the
+// all_turns_ phantom capability: AllShardsTurnLock really locks the
+// other shards' turns and acquires the phantom, and the cross-shard
+// *_locked()/control helpers declare AA_REQUIRES(all_turns_).
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/histogram.hpp"
 #include "support/json.hpp"
+#include "support/sync.hpp"
 #include "support/thread_pool.hpp"
 #include "svc/fairness.hpp"
 #include "svc/instance_state.hpp"
@@ -159,25 +174,34 @@ class Service {
 
   /// One tenant shard: its own queue, turn lock, tenants, and sequencer.
   struct Shard {
-    std::mutex queue_mutex;
-    std::condition_variable queue_cv;
-    std::deque<Pending> queue;
-    bool stopping = false;
-
     // Drain turn: one batch at a time per shard, in pop order. Held
     // across pop + tenant mutation + solve; rendering happens outside.
     // Guards `tenants` — cross-shard readers (stats/metrics/tenant_list)
-    // and tenant churn take every shard's turn lock in ascending order.
-    std::mutex turn_mutex;
-    std::uint64_t next_batch_seq = 0;
+    // and tenant churn take every shard's turn lock in ascending order
+    // (AllShardsTurnLock + the all_turns_ phantom).
+    // Lock order: root — taken before queue_mutex and stats_mutex_.
+    support::Mutex turn_mutex;
+    std::uint64_t next_batch_seq AA_GUARDED_BY(turn_mutex) = 0;
     // Ordered by tenant id: iteration feeds the fairness division and the
-    // exposition, both of which must be deterministic.
-    std::map<std::string, std::unique_ptr<Tenant>, std::less<>> tenants;
+    // exposition, both of which must be deterministic. The map is guarded
+    // by turn_mutex; the Tenant objects behind the unique_ptrs are too
+    // (the analysis cannot see through the map — svc/tenant.hpp).
+    std::map<std::string, std::unique_ptr<Tenant>, std::less<>> tenants
+        AA_GUARDED_BY(turn_mutex);
+
+    // Lock order: after this shard's turn_mutex (pop_batch pops under a
+    // drain turn; submit_line takes it alone), before stats_mutex_.
+    support::Mutex queue_mutex AA_ACQUIRED_AFTER(turn_mutex);
+    support::CondVar queue_cv;
+    std::deque<Pending> queue AA_GUARDED_BY(queue_mutex);
+    bool stopping AA_GUARDED_BY(queue_mutex) = false;
 
     // Ordered delivery of rendered batches.
-    std::mutex deliver_mutex;
-    std::condition_variable deliver_cv;
-    std::uint64_t delivered_seq = 0;
+    // Lock order: independent — held alone (replies drain outside every
+    // other lock).
+    support::Mutex deliver_mutex;
+    support::CondVar deliver_cv;
+    std::uint64_t delivered_seq AA_GUARDED_BY(deliver_mutex) = 0;
   };
 
   /// True for ops that address one tenant's state (routed by tenant id);
@@ -191,74 +215,108 @@ class Service {
   /// Non-blocking pop of the next batch (plus bounded linger). Caller
   /// holds the shard's turn lock and has already observed work; an empty
   /// result means a same-shard peer raced us to the queue.
-  [[nodiscard]] std::vector<Pending> pop_batch(Shard& shard);
+  [[nodiscard]] std::vector<Pending> pop_batch(Shard& shard)
+      AA_REQUIRES(shard.turn_mutex);
   /// Applies one batch to the shard's tenants and builds the reply trees.
   [[nodiscard]] std::vector<Outgoing> process_batch(
-      std::size_t shard_index, std::vector<Pending> batch);
+      Shard& shard, std::vector<Pending> batch)
+      AA_REQUIRES(shard.turn_mutex);
   void deliver_in_order(Shard& shard, std::uint64_t seq,
-                        std::vector<Outgoing> outgoing);
+                        std::vector<Outgoing> outgoing)
+      AA_EXCLUDES(shard.deliver_mutex);
 
-  /// Locks every shard's turn but shard 0's, ascending. Only called while
-  /// the caller (the shard-0 worker) holds shard 0's turn lock, so the
-  /// global lock order is strictly ascending and deadlock-free.
-  [[nodiscard]] std::vector<std::unique_lock<std::mutex>>
-  lock_other_shards();
+  /// Scoped "every shard's turn lock" acquisition: locks every shard's
+  /// turn but shard 0's, ascending, and acquires the all_turns_ phantom
+  /// that names the full set. Only constructed while the caller (the
+  /// shard-0 worker) holds shard 0's turn lock, so the global lock order
+  /// is strictly ascending and deadlock-free.
+  class AA_SCOPED_CAPABILITY AllShardsTurnLock {
+   public:
+    explicit AllShardsTurnLock(Service& service)
+        AA_ACQUIRE(service.all_turns_);
+    ~AllShardsTurnLock() AA_RELEASE();
 
-  [[nodiscard]] Tenant* find_tenant(std::string_view name);
+    AllShardsTurnLock(const AllShardsTurnLock&) = delete;
+    AllShardsTurnLock& operator=(const AllShardsTurnLock&) = delete;
+
+   private:
+    Service& service_;
+  };
+
+  /// Re-introduces a dynamically-acquired turn lock to the analysis:
+  /// inside a cross-shard loop running under all_turns_, each shard's
+  /// turn really is held (by AllShardsTurnLock, or by the shard-0 worker
+  /// for its own shard), but only as an element of the phantom set.
+  void assert_turn_held([[maybe_unused]] const Shard& shard) const
+      AA_ASSERT_CAPABILITY(shard.turn_mutex) {}
+
+  [[nodiscard]] Tenant* find_tenant(std::string_view name)
+      AA_REQUIRES(all_turns_);
 
   /// Re-divides the global pool across all tenants through the fairness
   /// policy and publishes the slices as per-tenant solve capacities.
-  /// Caller must hold every shard's turn lock.
-  void redivide_pool_locked();
+  void redivide_pool_locked() AA_REQUIRES(all_turns_);
 
-  /// Handles one tenant_* admin request. Caller holds every turn lock.
-  [[nodiscard]] support::JsonValue tenant_admin(const Request& request);
-  [[nodiscard]] support::JsonValue tenant_list_json();
+  /// Handles one tenant_* admin request.
+  [[nodiscard]] support::JsonValue tenant_admin(const Request& request)
+      AA_REQUIRES(all_turns_);
+  [[nodiscard]] support::JsonValue tenant_list_json()
+      AA_REQUIRES(all_turns_);
 
-  [[nodiscard]] support::JsonValue stats_json();
+  [[nodiscard]] support::JsonValue stats_json() AA_REQUIRES(all_turns_);
   /// Prometheus text-format exposition of the service counters, latency
   /// histograms (+ quantile summaries), certificate verdicts, per-tenant
   /// labeled families, uptime, and — when an obs session is installed —
-  /// its drop counters. Served by the `metrics` op. Caller must hold
-  /// every shard's turn lock.
-  [[nodiscard]] std::string metrics_text();
+  /// its drop counters. Served by the `metrics` op.
+  [[nodiscard]] std::string metrics_text() AA_REQUIRES(all_turns_);
   [[nodiscard]] support::JsonValue solve_payload(
       const ServiceSolveResult& solved, double solve_ms) const;
-  void record_latency(const Pending& pending, Clock::time_point now);
+  void record_latency(const Pending& pending, Clock::time_point now)
+      AA_EXCLUDES(stats_mutex_);
   [[nodiscard]] std::size_t total_queue_depth();
   [[nodiscard]] double pool_units() const noexcept;
 
   ServiceConfig config_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Names the "every shard's turn lock" set, which the analysis cannot
+  /// express over a dynamic shard vector. Really acquired/released by
+  /// AllShardsTurnLock (and briefly by the single-threaded constructor).
+  // Lock order: stands for the ascending turn-lock sweep — after shard
+  // 0's turn_mutex, before stats_mutex_.
+  support::PhantomMutex all_turns_;
   /// Cross-tenant division policy; its credit books are only touched
   /// under all turn locks (tenant churn), never on the request fast path.
-  std::unique_ptr<FairnessPolicy> policy_;
+  std::unique_ptr<FairnessPolicy> policy_ AA_PT_GUARDED_BY(all_turns_);
 
   // Service-side statistics (stats_mutex_), surfaced by the `stats` and
   // `metrics` ops. Distributions are log2-bucketed histograms: O(1) per
   // sample with no window to age out, at the cost of one-bucket (2x)
-  // quantile resolution. Brief leaf lock, taken after any turn/queue lock.
-  mutable std::mutex stats_mutex_;
-  std::int64_t requests_total_ = 0;
-  std::int64_t op_counts_[kNumOps] = {};
-  std::int64_t errors_total_ = 0;
-  std::int64_t timeouts_ = 0;
-  std::int64_t batches_ = 0;
-  std::int64_t solves_coalesced_ = 0;
-  std::int64_t solves_by_path_[3] = {};  ///< Indexed by SolvePath.
-  std::int64_t migrations_total_ = 0;
-  std::int64_t certificates_pass_ = 0;
-  std::int64_t certificates_fail_ = 0;
-  std::int64_t tenant_creates_ = 0;
-  std::int64_t tenant_updates_ = 0;
-  std::int64_t tenant_deletes_ = 0;
-  std::int64_t pool_redivides_ = 0;
-  std::size_t queue_peak_ = 0;
-  obs::Histogram batch_size_;
-  obs::Histogram queue_depth_;
-  obs::Histogram request_latency_ms_;
-  obs::Histogram solve_latency_ms_;
+  // quantile resolution.
+  // Lock order: brief leaf, taken after any turn/queue lock (the
+  // AA_ACQUIRED_AFTER edge names the phantom because the per-shard locks
+  // live behind a dynamic vector); nothing is acquired under it.
+  mutable support::Mutex stats_mutex_ AA_ACQUIRED_AFTER(all_turns_);
+  std::int64_t requests_total_ AA_GUARDED_BY(stats_mutex_) = 0;
+  std::int64_t op_counts_[kNumOps] AA_GUARDED_BY(stats_mutex_) = {};
+  std::int64_t errors_total_ AA_GUARDED_BY(stats_mutex_) = 0;
+  std::int64_t timeouts_ AA_GUARDED_BY(stats_mutex_) = 0;
+  std::int64_t batches_ AA_GUARDED_BY(stats_mutex_) = 0;
+  std::int64_t solves_coalesced_ AA_GUARDED_BY(stats_mutex_) = 0;
+  /// Indexed by SolvePath.
+  std::int64_t solves_by_path_[3] AA_GUARDED_BY(stats_mutex_) = {};
+  std::int64_t migrations_total_ AA_GUARDED_BY(stats_mutex_) = 0;
+  std::int64_t certificates_pass_ AA_GUARDED_BY(stats_mutex_) = 0;
+  std::int64_t certificates_fail_ AA_GUARDED_BY(stats_mutex_) = 0;
+  std::int64_t tenant_creates_ AA_GUARDED_BY(stats_mutex_) = 0;
+  std::int64_t tenant_updates_ AA_GUARDED_BY(stats_mutex_) = 0;
+  std::int64_t tenant_deletes_ AA_GUARDED_BY(stats_mutex_) = 0;
+  std::int64_t pool_redivides_ AA_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t queue_peak_ AA_GUARDED_BY(stats_mutex_) = 0;
+  obs::Histogram batch_size_ AA_GUARDED_BY(stats_mutex_);
+  obs::Histogram queue_depth_ AA_GUARDED_BY(stats_mutex_);
+  obs::Histogram request_latency_ms_ AA_GUARDED_BY(stats_mutex_);
+  obs::Histogram solve_latency_ms_ AA_GUARDED_BY(stats_mutex_);
   const Clock::time_point started_ = Clock::now();
 
   std::atomic<bool> shutdown_requested_{false};

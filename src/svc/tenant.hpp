@@ -4,9 +4,11 @@
 //
 // The service shards tenants by id (stable FNV-1a hash mod shard count):
 // each shard owns its tenants' mutable state behind the shard's own
-// processing lock, and every drain worker is pinned to exactly one shard
-// (service.hpp), so steady-state traffic for tenants on different shards
-// never contends on a lock. A Tenant bundles everything a single-tenant
+// processing lock (turn_mutex, the root of the lock hierarchy declared
+// in service.hpp with support/sync.hpp annotations), and every drain
+// worker is pinned to exactly one shard, so steady-state traffic for
+// tenants on different shards never contends on a lock. A Tenant
+// bundles everything a single-tenant
 // service used to own once: its InstanceState (thread set + version), its
 // WarmStartSolver (cached/warm/full paths and certificates warm-start per
 // tenant), its quota knobs, the pool slice the fairness layer last granted
@@ -59,7 +61,10 @@ struct Tenant {
   /// Full-capacity super-optimal value at the last division round.
   double demand_units = 0.0;
 
-  // Per-tenant stats (guarded by the owning shard's turn lock).
+  // Per-tenant stats. Like every Tenant member, guarded by the owning
+  // shard's turn lock: Shard::tenants is AA_GUARDED_BY(turn_mutex) in
+  // service.hpp, and the analysis stops at the map boundary, so the
+  // fields themselves carry no annotations.
   std::int64_t requests = 0;
   std::int64_t errors = 0;
   std::int64_t solves_by_path[3] = {};  ///< Indexed by SolvePath.

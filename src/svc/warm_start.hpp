@@ -65,6 +65,15 @@ struct ServiceSolveResult {
   obs::Certificate certificate;
 };
 
+/// Chooses among the cached / warm / full solve paths and carries
+/// placements across instance versions by thread id.
+///
+/// Not thread-safe by itself: like InstanceState, a WarmStartSolver is a
+/// Tenant member reached only through Shard::tenants, which is
+/// AA_GUARDED_BY the owning shard's turn_mutex (service.hpp). The turn
+/// lock serializes every solve() and reset(); no support/sync.hpp
+/// annotations appear here because the analysis cannot see through the
+/// tenant map to these members.
 class WarmStartSolver {
  public:
   explicit WarmStartSolver(WarmStartConfig config = {});

@@ -180,6 +180,51 @@ TEST(AaLint, OrphanedDocPageIsFlagged) {
       << result.output;
 }
 
+TEST(AaLint, NakedMutexIsFlagged) {
+  const RunResult result = lint_fixture("naked_mutex", "concurrency");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("naked std::mutex"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("naked std::condition_variable"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("naked std::lock_guard"), std::string::npos)
+      << result.output;
+  // The waived declaration on line 15 is not reported.
+  EXPECT_EQ(result.output.find("bad.cpp:15"), std::string::npos)
+      << result.output;
+}
+
+TEST(AaLint, MissingLockOrderCommentIsFlagged) {
+  const RunResult result = lint_fixture("lock_order_comment", "concurrency");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("src/svc/bad.hpp:13"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("needs a \"Lock order:\" comment"),
+            std::string::npos)
+      << result.output;
+  // Members documented on the same line or in the block above are fine.
+  EXPECT_EQ(result.output.find("bad.hpp:16"), std::string::npos)
+      << result.output;
+  EXPECT_EQ(result.output.find("bad.hpp:18"), std::string::npos)
+      << result.output;
+}
+
+TEST(AaLint, LockedFunctionWithoutRequiresIsFlagged) {
+  const RunResult result = lint_fixture("locked_requires", "concurrency");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("src/svc/bad.hpp:14"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("declared without AA_REQUIRES"),
+            std::string::npos)
+      << result.output;
+  // The annotated declaration and the call site are not reported.
+  EXPECT_EQ(result.output.find("bad.hpp:15"), std::string::npos)
+      << result.output;
+  EXPECT_EQ(result.output.find("bad.hpp:19"), std::string::npos)
+      << result.output;
+}
+
 TEST(AaLint, UnknownCheckIsUsageError) {
   const RunResult result = lint_fixture("float_eq", "bogus-check");
   EXPECT_EQ(result.exit_code, 2) << result.output;

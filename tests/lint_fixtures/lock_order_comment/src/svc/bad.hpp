@@ -1,0 +1,21 @@
+#pragma once
+
+// Fixture: every Mutex/SharedMutex/PhantomMutex declaration must carry a
+// "Lock order:" comment. `undocumented_` must be flagged; the two
+// documented members must not.
+
+#include "support/sync.hpp"
+
+namespace aa::svc {
+
+class Fixture {
+ private:
+  support::Mutex undocumented_;
+
+  // Lock order: leaf — nothing else is acquired while held.
+  support::Mutex documented_;
+
+  mutable support::SharedMutex also_documented_;  // Lock order: leaf.
+};
+
+}  // namespace aa::svc

@@ -1,0 +1,27 @@
+#pragma once
+
+// Fixture: a `*_locked` function declared in a header must state its
+// caller-holds-the-lock contract with AA_REQUIRES(...). `drain_locked`
+// must be flagged; `refill_locked` must not, and the call site inside
+// refill() must not be mistaken for a declaration.
+
+#include "support/sync.hpp"
+
+namespace aa::svc {
+
+class Fixture {
+ public:
+  void drain_locked();
+  void refill_locked() AA_REQUIRES(mutex_);
+
+  void refill() {
+    const support::MutexLock lock(mutex_);
+    refill_locked();
+  }
+
+ private:
+  // Lock order: leaf — nothing else is acquired while held.
+  support::Mutex mutex_;
+};
+
+}  // namespace aa::svc

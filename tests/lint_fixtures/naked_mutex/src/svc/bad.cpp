@@ -1,0 +1,15 @@
+// Fixture: naked standard synchronization primitives outside
+// src/support/sync.hpp. Each line below must produce a [concurrency]
+// diagnostic; the waived one must not.
+#include <condition_variable>
+#include <mutex>
+
+std::mutex plain_mutex;
+std::condition_variable plain_cv;
+
+void touch() {
+  const std::lock_guard<std::mutex> lock(plain_mutex);
+}
+
+// An explicit waiver suppresses the diagnostic on that line.
+std::mutex waived_mutex;  // aa-lint: allow(concurrency) fixture waiver

@@ -1,0 +1,12 @@
+// Thread-safety negative fixture: acquiring a mutex already held (a
+// self-deadlock) must fail to compile under Clang -Werror=thread-safety
+// (cmake/ThreadSafetyCheck.cmake, WILL_FAIL).
+
+#include "support/sync.hpp"
+
+int main() {
+  aa::support::Mutex mutex;
+  const aa::support::MutexLock first(mutex);
+  const aa::support::MutexLock second(mutex);  // BAD: already held.
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Thread-safety negative fixture: calling a function that declares
+// AA_REQUIRES(mutex) without holding the mutex must fail to compile under
+// Clang -Werror=thread-safety (cmake/ThreadSafetyCheck.cmake, WILL_FAIL).
+
+#include "support/sync.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  void push() {
+    push_locked();  // BAD: caller must hold mutex_.
+  }
+
+  void push_locked() AA_REQUIRES(mutex_) { ++depth_; }
+
+ private:
+  aa::support::Mutex mutex_;
+  int depth_ AA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.push();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Thread-safety negative fixture: reading a AA_GUARDED_BY member without
+// holding its mutex must fail to compile under Clang -Werror=thread-safety
+// (cmake/ThreadSafetyCheck.cmake runs this with WILL_FAIL).
+
+#include "support/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  int read_without_lock() {
+    return value_;  // BAD: mutex_ not held.
+  }
+
+ private:
+  aa::support::Mutex mutex_;
+  int value_ AA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.read_without_lock();
+}

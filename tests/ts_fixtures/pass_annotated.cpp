@@ -1,0 +1,36 @@
+// Thread-safety positive control: correctly annotated locking compiles
+// warning-free under Clang -Werror=thread-safety. If this fixture fails,
+// the harness (cmake/ThreadSafetyCheck.cmake) is broken, not the code
+// under test — the fail_* fixtures only prove anything when this passes.
+
+#include "support/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() AA_EXCLUDES(mutex_) {
+    const aa::support::MutexLock lock(mutex_);
+    increment_locked();
+  }
+
+  int read() AA_EXCLUDES(mutex_) {
+    const aa::support::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  void increment_locked() AA_REQUIRES(mutex_) { ++value_; }
+
+  // Lock order: leaf — nothing else is acquired while held.
+  aa::support::Mutex mutex_;
+  int value_ AA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.read() == 1 ? 0 : 1;
+}

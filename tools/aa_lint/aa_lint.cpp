@@ -41,6 +41,15 @@
 //                    page's path or filename counts as a link, root-level
 //                    *.md pages may serve as intermediate hops), so no
 //                    documentation page can silently orphan.
+//   concurrency      locking discipline around src/support/sync.hpp: bans
+//                    naked std::mutex / std::lock_guard / std::unique_lock
+//                    / std::condition_variable (and friends) outside the
+//                    sync layer itself, requires a "Lock order:" comment
+//                    on every Mutex/SharedMutex/PhantomMutex declaration,
+//                    requires AA_REQUIRES(...) on every `*_locked`
+//                    function declared in a header, and requires a direct
+//                    include of support/sync.hpp in any file that uses
+//                    the AA_* annotation macros.
 //
 // A violation on a specific line can be waived by appending the comment
 //   // aa-lint: allow(<check>)
@@ -794,6 +803,147 @@ class Linter {
     }
   }
 
+  // -- concurrency ---------------------------------------------------------
+
+  void check_concurrency() {
+    static const char* const kCheck = "concurrency";
+    const std::regex scope(R"(^(src|tools)/.*\.(cpp|hpp|h)$)");
+    // (a) Naked standard synchronization primitives. The annotated
+    // wrappers in src/support/sync.hpp are the only sanctioned spelling:
+    // they are what Clang's thread-safety analysis can see.
+    const std::regex naked_re(
+        R"(\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex)"
+        R"(|shared_mutex|shared_timed_mutex|lock_guard|unique_lock)"
+        R"(|scoped_lock|shared_lock|condition_variable)"
+        R"(|condition_variable_any)\b)");
+    // (b) Every lockable declaration states its place in the hierarchy.
+    const std::regex lockable_decl_re(
+        R"(^\s*(mutable\s+)?((aa::)?support::)?)"
+        R"((Mutex|SharedMutex|PhantomMutex)\s+[A-Za-z_]\w*)");
+    // (c) Functions named `*_locked` in headers carry AA_REQUIRES.
+    const std::regex locked_fn_re(R"(\b[A-Za-z_]\w*_locked\s*\()");
+    // (d) AA_* macro users include the defining header directly.
+    const std::regex macro_re(
+        R"(\bAA_(CAPABILITY|SCOPED_CAPABILITY|GUARDED_BY|PT_GUARDED_BY)"
+        R"(|REQUIRES|REQUIRES_SHARED|ACQUIRE|ACQUIRE_SHARED|RELEASE)"
+        R"(|RELEASE_SHARED|TRY_ACQUIRE|EXCLUDES|ACQUIRED_AFTER)"
+        R"(|ACQUIRED_BEFORE|ASSERT_CAPABILITY|RETURN_CAPABILITY)"
+        R"(|NO_THREAD_SAFETY_ANALYSIS)\b)");
+    for (const SourceFile* file : match(scope)) {
+      if (file->rel == "src/support/sync.hpp") continue;
+      for (auto it = std::sregex_iterator(file->masked.begin(),
+                                          file->masked.end(), naked_re);
+           it != std::sregex_iterator(); ++it) {
+        const std::size_t offset = static_cast<std::size_t>(it->position());
+        report(*file, line_of(*file, offset), kCheck,
+               "naked " + it->str() +
+                   " — use the annotated wrappers in src/support/sync.hpp "
+                   "(Mutex / MutexLock / CondVar)");
+      }
+      check_lock_order_comments(*file, lockable_decl_re, kCheck);
+      if (file->rel.size() > 4 &&
+          file->rel.substr(file->rel.size() - 4) == ".hpp") {
+        check_locked_requires(*file, locked_fn_re, kCheck);
+      }
+      // The include path is a string literal (blanked in masked text), so
+      // this one lookup goes against the raw bytes.
+      std::smatch macro_use;
+      if (std::regex_search(file->masked, macro_use, macro_re) &&
+          file->raw.find("#include \"support/sync.hpp\"") ==
+              std::string::npos) {
+        const std::size_t offset =
+            static_cast<std::size_t>(macro_use.position());
+        report(*file, line_of(*file, offset), kCheck,
+               "uses thread-safety annotation macros but does not include "
+               "\"support/sync.hpp\" directly");
+      }
+    }
+  }
+
+  /// (b) A Mutex/SharedMutex/PhantomMutex declaration must say where it
+  /// sits in the lock hierarchy: a "Lock order:" note on the declaration
+  /// line itself or in the contiguous `//` comment block directly above.
+  void check_lock_order_comments(const SourceFile& file,
+                                 const std::regex& decl_re,
+                                 std::string_view check) {
+    std::istringstream masked(file.masked);
+    std::string masked_line;
+    std::size_t line_number = 0;
+    while (std::getline(masked, masked_line)) {
+      ++line_number;
+      if (!std::regex_search(masked_line, decl_re)) continue;
+      bool documented =
+          line_text(file, line_number).find("Lock order:") !=
+          std::string::npos;
+      for (std::size_t above = line_number; !documented && above > 1;) {
+        --above;
+        const std::string text = line_text(file, above);
+        const std::size_t first = text.find_first_not_of(" \t");
+        if (first == std::string::npos ||
+            text.compare(first, 2, "//") != 0) {
+          break;  // End of the contiguous comment block.
+        }
+        documented = text.find("Lock order:") != std::string::npos;
+      }
+      if (!documented) {
+        report(file, line_number, check,
+               "lockable member needs a \"Lock order:\" comment (same line "
+               "or the // block directly above) stating its place in the "
+               "hierarchy — see docs/ARCHITECTURE.md");
+      }
+    }
+  }
+
+  /// (c) A function whose name ends in `_locked` encodes a caller-holds-
+  /// the-lock contract; in a header that contract must be machine-checked
+  /// with AA_REQUIRES(...), not prose. Calls are told apart from
+  /// declarations by the statement prefix: a call site's prefix (text
+  /// since the last `;`/`{`/`}`/`#`) is empty or carries `=`, `return`,
+  /// `(`, `,`, `.` or `->`, a declaration's carries the return type.
+  void check_locked_requires(const SourceFile& file, const std::regex& fn_re,
+                             std::string_view check) {
+    const std::string& masked = file.masked;
+    for (auto it = std::sregex_iterator(masked.begin(), masked.end(), fn_re);
+         it != std::sregex_iterator(); ++it) {
+      const std::size_t offset = static_cast<std::size_t>(it->position());
+      const std::size_t stmt =
+          masked.find_last_of(";{}#", offset == 0 ? 0 : offset - 1);
+      const std::string prefix = masked.substr(
+          stmt == std::string::npos ? 0 : stmt + 1,
+          offset - (stmt == std::string::npos ? 0 : stmt + 1));
+      const bool call_like =
+          prefix.find_first_not_of(" \t\r\n") == std::string::npos ||
+          prefix.find('=') != std::string::npos ||
+          prefix.find('(') != std::string::npos ||
+          prefix.find(',') != std::string::npos ||
+          prefix.find('.') != std::string::npos ||
+          prefix.find("->") != std::string::npos ||
+          prefix.find("return") != std::string::npos;
+      if (call_like) continue;
+      // Span from the parameter list's close paren to the declaration's
+      // `;` or `{` is where trailing attributes live.
+      std::size_t open = masked.find('(', offset);
+      if (open == std::string::npos) continue;
+      int depth = 0;
+      std::size_t close = open;
+      for (; close < masked.size(); ++close) {
+        if (masked[close] == '(') ++depth;
+        if (masked[close] == ')' && --depth == 0) break;
+      }
+      const std::size_t terminator = masked.find_first_of(";{", close);
+      const std::string trailer = masked.substr(
+          close, (terminator == std::string::npos ? masked.size()
+                                                  : terminator) -
+                     close);
+      if (trailer.find("AA_REQUIRES") == std::string::npos) {
+        report(file, line_of(file, offset), check,
+               "`*_locked` function declared without AA_REQUIRES(...) — "
+               "the caller-holds-the-lock contract must be machine-checked "
+               "(src/support/sync.hpp)");
+      }
+    }
+  }
+
   // -- doc-links -----------------------------------------------------------
 
   void check_doc_links() {
@@ -858,7 +1008,7 @@ class Linter {
 
 constexpr std::string_view kKnownChecks[] = {
     "metric-literals", "metric-registry", "error-codes", "determinism",
-    "include-style", "doc-links",
+    "include-style", "doc-links", "concurrency",
 };
 
 int usage(int status) {
@@ -921,6 +1071,7 @@ int main(int argc, char** argv) {
   if (checks.count("determinism") != 0) linter.check_determinism();
   if (checks.count("include-style") != 0) linter.check_include_style();
   if (checks.count("doc-links") != 0) linter.check_doc_links();
+  if (checks.count("concurrency") != 0) linter.check_concurrency();
 
   std::vector<Diagnostic> diagnostics = linter.diagnostics();
   std::sort(diagnostics.begin(), diagnostics.end(),

@@ -41,7 +41,6 @@
 #include <fstream>
 #include <iostream>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -54,6 +53,7 @@
 #include "support/json.hpp"
 #include "support/prng.hpp"
 #include "support/stats.hpp"
+#include "support/sync.hpp"
 #include "svc/channel.hpp"
 #include "utility/generator.hpp"
 
@@ -444,7 +444,8 @@ int main(int argc, char** argv) {
       total = run_script(options);
     } else {
       if (options.tenants > 0) create_tenants(options, total);
-      std::mutex merge_mutex;
+      // Lock order: leaf — serializes per-connection tally merges.
+      support::Mutex merge_mutex;
       std::vector<std::thread> workers;
       const std::size_t per_connection =
           options.requests / options.connections;
@@ -460,7 +461,7 @@ int main(int argc, char** argv) {
                                       std::to_string(k) + ": " +
                                       error.what());
           }
-          std::lock_guard<std::mutex> lock(merge_mutex);
+          const support::MutexLock lock(merge_mutex);
           total.merge(tally);
         });
       }
